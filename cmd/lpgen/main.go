@@ -1,0 +1,69 @@
+// Command lpgen generates random linear-program instances in the textual
+// format understood by cmd/lpsolve and memlp.ReadProblem.
+//
+// Usage:
+//
+//	lpgen -m 64 [-n 0] [-seed 1] [-infeasible] [-o problem.lp]
+//
+// With n = 0 the paper's ratio n = m/3 is used. Instances are reproducible
+// per seed: feasible instances are feasible and bounded by construction,
+// infeasible ones embed a contradictory constraint pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/memlp/memlp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lpgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		m          = fs.Int("m", 16, "number of constraints (≥ 2)")
+		n          = fs.Int("n", 0, "number of variables (0 = m/3, the paper's ratio)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		infeasible = fs.Bool("infeasible", false, "generate a contradictory (infeasible) instance")
+		out        = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		p   *memlp.Problem
+		err error
+	)
+	if *infeasible {
+		p, err = memlp.GenerateInfeasible(*m, *n, *seed)
+	} else {
+		p, err = memlp.GenerateFeasible(*m, *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lpgen: %v\n", err)
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.WriteText(w); err != nil {
+		fmt.Fprintf(stderr, "lpgen: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memlp/memlp"
+)
+
+func TestGenerateFeasibleToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "9", "-seed", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	p, err := memlp.ReadProblem(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if p.NumConstraints() != 9 || p.NumVariables() != 3 {
+		t.Errorf("dims = (%d, %d)", p.NumConstraints(), p.NumVariables())
+	}
+	// Feasible instance must be solvable to optimality.
+	sol, err := memlp.Solve(p, memlp.EngineSimplex)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != memlp.StatusOptimal {
+		t.Errorf("generated feasible instance not optimal: %v", sol.Status)
+	}
+}
+
+func TestGenerateInfeasible(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "9", "-infeasible"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	p, err := memlp.ReadProblem(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	sol, err := memlp.Solve(p, memlp.EngineSimplex)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != memlp.StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.lp")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "6", "-o", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Error("wrote to stdout despite -o")
+	}
+}
+
+func TestGenerateInvalidSize(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-m", "1"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestGenerateBadOutputPath(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-o", "/nonexistent-dir/x.lp"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,128 @@
+// Command lpsolve solves a linear program from a file (or stdin) with any of
+// the library's engines and reports the solution together with, for crossbar
+// engines, the modelled hardware latency and energy.
+//
+// Usage:
+//
+//	lpsolve [-engine crossbar] [-variation 0.1] [-seed 1] [-noc mesh -tile 512] problem.lp
+//
+// Engines: crossbar (the paper's Algorithm 1), crossbar-large-scale
+// (Algorithm 2), pdip (software full-Newton baseline), pdip-reduced
+// (software reduced-KKT baseline), simplex.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/memlp/memlp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		engineName = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | pdip | pdip-reduced | simplex")
+		varPct     = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
+		seed       = fs.Int64("seed", 1, "random seed for variation draws")
+		nocTopo    = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
+		tile       = fs.Int("tile", 512, "NoC tile (crossbar) size")
+		verbose    = fs.Bool("v", false, "print the solution vector")
+		format     = fs.String("format", "", "input format: text (default) | mps; .mps files are auto-detected")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	mps := false
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+		mps = strings.HasSuffix(strings.ToLower(fs.Arg(0)), ".mps")
+	}
+	read := memlp.ReadProblem
+	if mps || *format == "mps" {
+		read = memlp.ReadProblemMPS
+	}
+	p, err := read(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+		return 1
+	}
+
+	engine, ok := engineByName(*engineName)
+	if !ok {
+		fmt.Fprintf(stderr, "lpsolve: unknown engine %q\n", *engineName)
+		return 2
+	}
+
+	var opts []memlp.Option
+	if *varPct > 0 {
+		opts = append(opts, memlp.WithVariation(*varPct))
+	}
+	opts = append(opts, memlp.WithSeed(*seed))
+	if *nocTopo != "" {
+		opts = append(opts, memlp.WithNoC(*nocTopo, *tile))
+	}
+
+	sol, err := memlp.Solve(p, engine, opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "problem:    %s (%d constraints, %d variables)\n",
+		p.Name(), p.NumConstraints(), p.NumVariables())
+	fmt.Fprintf(stdout, "engine:     %s\n", engine)
+	fmt.Fprintf(stdout, "status:     %s\n", sol.Status)
+	fmt.Fprintf(stdout, "objective:  %.6g\n", sol.Objective)
+	if sol.Iterations > 0 {
+		fmt.Fprintf(stdout, "iterations: %d\n", sol.Iterations)
+	}
+	if sol.Pivots > 0 {
+		fmt.Fprintf(stdout, "pivots:     %d\n", sol.Pivots)
+	}
+	fmt.Fprintf(stdout, "wall time:  %v\n", sol.WallTime)
+	if hw := sol.Hardware; hw != nil {
+		fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d analog ops)\n",
+			hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.AnalogOps)
+	}
+	if *verbose && sol.X != nil {
+		fmt.Fprint(stdout, "x:         ")
+		for _, v := range sol.X {
+			fmt.Fprintf(stdout, " %.6g", v)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func engineByName(name string) (memlp.Engine, bool) {
+	switch name {
+	case "crossbar":
+		return memlp.EngineCrossbar, true
+	case "crossbar-large-scale":
+		return memlp.EngineCrossbarLargeScale, true
+	case "pdip":
+		return memlp.EnginePDIP, true
+	case "pdip-reduced":
+		return memlp.EnginePDIPReduced, true
+	case "simplex":
+		return memlp.EngineSimplex, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const tinyProblem = `name tiny
+maximize 3 2
+subject 1 1 <= 4
+subject 1 3 <= 6
+`
+
+func TestRunSolvesFromStdin(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "simplex"}, strings.NewReader(tinyProblem), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "status:     optimal") {
+		t.Errorf("missing status in output:\n%s", s)
+	}
+	if !strings.Contains(s, "objective:  12") {
+		t.Errorf("missing objective in output:\n%s", s)
+	}
+}
+
+func TestRunCrossbarEngineReportsHardware(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "crossbar", "-variation", "0.1", "-v"},
+		strings.NewReader(tinyProblem), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "hardware:") {
+		t.Errorf("missing hardware estimate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "x:") {
+		t.Errorf("missing -v solution vector:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "quantum"}, strings.NewReader(tinyProblem), &out, &errBuf)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown engine") {
+		t.Errorf("stderr = %s", errBuf.String())
+	}
+}
+
+func TestRunBadProblem(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run(nil, strings.NewReader("nonsense"), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"/nonexistent/problem.lp"}, strings.NewReader(""), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range []string{"crossbar", "crossbar-large-scale", "pdip", "pdip-reduced", "simplex"} {
+		if _, ok := engineByName(name); !ok {
+			t.Errorf("engineByName(%q) not found", name)
+		}
+	}
+	if _, ok := engineByName("nope"); ok {
+		t.Error("engineByName accepted garbage")
+	}
+}
+
+func TestRunMPSFormat(t *testing.T) {
+	const mps = `NAME T
+ROWS
+ N COST
+ L R1
+ L R2
+COLUMNS
+ X COST -3 R1 1
+ X R2 1
+ Y COST -2 R1 1
+ Y R2 3
+RHS
+ R R1 4 R2 6
+ENDATA
+`
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "simplex", "-format", "mps"}, strings.NewReader(mps), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "objective:  12") {
+		t.Errorf("objective missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+func TestRunReportsErrorStats(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-size", "12", "-trials", "3", "-variation", "0.1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "mat-vec relative error") || !strings.Contains(s, "solve   relative error") {
+		t.Errorf("missing stats:\n%s", s)
+	}
+	if !strings.Contains(s, "variation 10%") {
+		t.Errorf("missing config echo:\n%s", s)
+	}
+}
+
+func TestRunIdealIsAccurate(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-size", "10", "-trials", "2", "-iobits", "16", "-writebits", "16"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-size", "1"}, &out, &errBuf); code != 2 {
+		t.Fatalf("size=1 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-trials", "0"}, &out, &errBuf); code != 2 {
+		t.Fatalf("trials=0 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-iobits", "99"}, &out, &errBuf); code != 1 {
+		t.Fatalf("iobits=99 exit = %d, want 1", code)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	got := linalg.VectorOf(1, 2, 3)
+	want := linalg.VectorOf(1, 2, 4)
+	if e := relErr(got, want); e != 1.0/5.0 {
+		t.Errorf("relErr = %v, want 0.2", e)
+	}
+	if e := relErr(want, want); e != 0 {
+		t.Errorf("identical relErr = %v, want 0", e)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: solve a small linear program on the simulated memristor
+// crossbar and compare it with the software interior-point baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memlp/memlp"
+)
+
+func main() {
+	// A classic two-variable LP:
+	//   maximize 3x + 2y
+	//   subject to  x +  y ≤ 4
+	//               x + 3y ≤ 6
+	//               x, y ≥ 0
+	// The optimum is x = 4, y = 0 with objective 12.
+	p, err := memlp.NewProblem("quickstart",
+		[]float64{3, 2},
+		[][]float64{
+			{1, 1},
+			{1, 3},
+		},
+		[]float64{4, 6})
+	if err != nil {
+		log.Fatalf("building problem: %v", err)
+	}
+
+	// Software reference.
+	ref, err := memlp.Solve(p, memlp.EnginePDIP)
+	if err != nil {
+		log.Fatalf("software solve: %v", err)
+	}
+	fmt.Printf("software PDIP:  status=%v objective=%.4f x=%.4v (%.0f iterations)\n",
+		ref.Status, ref.Objective, ref.X, float64(ref.Iterations))
+
+	// The same problem on the simulated analog crossbar, with 10% process
+	// variation — the paper's Algorithm 1.
+	sol, err := memlp.Solve(p, memlp.EngineCrossbar,
+		memlp.WithVariation(0.10),
+		memlp.WithSeed(42))
+	if err != nil {
+		log.Fatalf("crossbar solve: %v", err)
+	}
+	fmt.Printf("crossbar PDIP:  status=%v objective=%.4f x=%.4v (%.0f iterations)\n",
+		sol.Status, sol.Objective, sol.X, float64(sol.Iterations))
+	fmt.Printf("hardware model: latency=%v energy=%.3g J (%d cell writes, %d analog ops)\n",
+		sol.Hardware.Latency, sol.Hardware.EnergyJoules,
+		sol.Hardware.CellWrites, sol.Hardware.AnalogOps)
+
+	errPct := 100 * (sol.Objective - ref.Objective) / ref.Objective
+	fmt.Printf("objective error vs software: %+.2f%%\n", errPct)
+}

@@ -1,0 +1,3 @@
+module github.com/memlp/memlp
+
+go 1.22

@@ -1,0 +1,235 @@
+package memlp
+
+// Cross-module integration tests: these exercise the full public pipeline
+// (generation → serialization → solving on every engine → hardware
+// estimation) and the invariants that tie the subsystems together.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestEndToEndPipeline generates an instance, round-trips it through the
+// textual format, solves it with every engine, and cross-checks objectives.
+func TestEndToEndPipeline(t *testing.T) {
+	p, err := GenerateFeasible(15, 0, 77)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	p2, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+
+	exact, err := Solve(p2, EngineSimplex)
+	if err != nil {
+		t.Fatalf("simplex: %v", err)
+	}
+	if exact.Status != StatusOptimal {
+		t.Fatalf("simplex status: %v", exact.Status)
+	}
+
+	engines := []Engine{EnginePDIP, EnginePDIPReduced, EngineCrossbar, EngineCrossbarLargeScale}
+	for _, e := range engines {
+		sol, err := Solve(p2, e, WithSeed(3))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Errorf("%v: status %v", e, sol.Status)
+			continue
+		}
+		tol := 1e-3
+		if e == EngineCrossbar || e == EngineCrossbarLargeScale {
+			tol = 0.08 // analog accuracy floor
+		}
+		if rel := math.Abs(sol.Objective-exact.Objective) / (1 + math.Abs(exact.Objective)); rel > tol {
+			t.Errorf("%v: objective %v vs exact %v (rel %v)", e, sol.Objective, exact.Objective, rel)
+		}
+	}
+}
+
+// TestWeakDualityAcrossEngines verifies a fundamental invariant: the dual
+// problem's optimum equals the negated primal optimum (strong duality), and
+// any crossbar answer stays within its accuracy floor of that value.
+func TestWeakDualityAcrossEngines(t *testing.T) {
+	p, err := GenerateFeasible(12, 0, 5)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	primal, err := Solve(p, EnginePDIPReduced)
+	if err != nil {
+		t.Fatalf("primal: %v", err)
+	}
+	dual, err := Solve(p.Dual(), EnginePDIPReduced)
+	if err != nil {
+		t.Fatalf("dual: %v", err)
+	}
+	if primal.Status != StatusOptimal || dual.Status != StatusOptimal {
+		t.Fatalf("statuses: %v / %v", primal.Status, dual.Status)
+	}
+	if diff := math.Abs(primal.Objective + dual.Objective); diff > 1e-3*(1+math.Abs(primal.Objective)) {
+		t.Errorf("strong duality violated: %v vs %v", primal.Objective, -dual.Objective)
+	}
+}
+
+// TestCrossbarSolutionFeasibility checks the α-relaxed feasibility contract:
+// every optimal crossbar answer satisfies A·x ≤ α·b for the α implied by its
+// variation level.
+func TestCrossbarSolutionFeasibility(t *testing.T) {
+	for _, varPct := range []float64{0, 0.10} {
+		for seed := int64(0); seed < 3; seed++ {
+			p, err := GenerateFeasible(12, 0, 50+seed)
+			if err != nil {
+				t.Fatalf("GenerateFeasible: %v", err)
+			}
+			sol, err := Solve(p, EngineCrossbar, WithVariation(varPct), WithSeed(seed))
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if sol.Status != StatusOptimal {
+				continue // rejection is allowed; wrong answers are not
+			}
+			ok, err := p.IsFeasible(sol.X, 0.05+2*varPct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("var %v seed %d: optimal answer violates α-feasibility", varPct, seed)
+			}
+		}
+	}
+}
+
+// TestHardwareEstimateScaling checks the O(N)-per-iteration claim end to
+// end: quadrupling the problem size must scale per-iteration cell writes by
+// about 4× (the paper's 2.7N refresh), not 16× (an O(N²) reprogram). The
+// one-time programming cost is cancelled by differencing two runs of the
+// same instance with different iteration budgets.
+func TestHardwareEstimateScaling(t *testing.T) {
+	perIterationWrites := func(m int) float64 {
+		p, err := GenerateFeasible(m, 0, 9)
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		writesAt := func(iters int) (int64, int) {
+			sol, err := Solve(p, EngineCrossbar, WithSeed(2), WithMaxIterations(iters))
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			return sol.Hardware.CellWrites, sol.Iterations
+		}
+		w1, i1 := writesAt(5)
+		w2, i2 := writesAt(25)
+		if i2 <= i1 {
+			t.Fatalf("iteration budgets not respected: %d vs %d", i1, i2)
+		}
+		return float64(w2-w1) / float64(i2-i1)
+	}
+	w12 := perIterationWrites(12)
+	w48 := perIterationWrites(48)
+	ratio := w48 / w12
+	if ratio < 2.5 || ratio > 7 {
+		t.Errorf("per-iteration writes scaled by %.2f for 4x size; want ≈4 (O(N))", ratio)
+	}
+}
+
+// TestNoCAndSingleCrossbarAgree runs the same seeded problem on a single
+// crossbar and on a mesh-tiled fabric; both must land within the analog
+// accuracy floor of the reference.
+func TestNoCAndSingleCrossbarAgree(t *testing.T) {
+	p, err := GenerateFeasible(12, 0, 21)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	ref, err := Solve(p, EnginePDIPReduced)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	single, err := Solve(p, EngineCrossbar, WithSeed(4))
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	tiled, err := Solve(p, EngineCrossbar, WithSeed(4), WithNoC("mesh", 16))
+	if err != nil {
+		t.Fatalf("tiled: %v", err)
+	}
+	for name, sol := range map[string]*Solution{"single": single, "mesh-tiled": tiled} {
+		if sol.Status != StatusOptimal {
+			t.Errorf("%s: status %v", name, sol.Status)
+			continue
+		}
+		if rel := math.Abs(sol.Objective-ref.Objective) / (1 + math.Abs(ref.Objective)); rel > 0.05 {
+			t.Errorf("%s: objective %v vs %v", name, sol.Objective, ref.Objective)
+		}
+	}
+}
+
+// TestInfeasibleEndToEnd drives infeasibility detection through the public
+// API on all PDIP engines.
+func TestInfeasibleEndToEnd(t *testing.T) {
+	p, err := GenerateInfeasible(12, 0, 31)
+	if err != nil {
+		t.Fatalf("GenerateInfeasible: %v", err)
+	}
+	for _, e := range []Engine{EnginePDIP, EnginePDIPReduced, EngineSimplex} {
+		sol, err := Solve(p, e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if sol.Status != StatusInfeasible {
+			t.Errorf("%v: status %v, want infeasible", e, sol.Status)
+		}
+	}
+	// Crossbar engines may report infeasible directly or reject via the
+	// α-check; they must never claim optimal.
+	for _, e := range []Engine{EngineCrossbar, EngineCrossbarLargeScale} {
+		sol, err := Solve(p, e, WithSeed(1))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if sol.Status == StatusOptimal {
+			t.Errorf("%v: infeasible problem reported optimal", e)
+		}
+	}
+}
+
+// TestVariationMonotonicity spot-checks the Fig. 5 trend through the public
+// API: averaged over seeds, more variation must not give radically better
+// accuracy (noise floors make exact monotonicity too strict to assert).
+func TestVariationMonotonicity(t *testing.T) {
+	meanErr := func(varPct float64) float64 {
+		var sum float64
+		const trials = 4
+		for seed := int64(0); seed < trials; seed++ {
+			p, err := GenerateFeasible(12, 0, 60+seed)
+			if err != nil {
+				t.Fatalf("GenerateFeasible: %v", err)
+			}
+			ref, err := Solve(p, EnginePDIPReduced)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			sol, err := Solve(p, EngineCrossbar, WithVariation(varPct), WithSeed(100+seed))
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			sum += math.Abs(sol.Objective-ref.Objective) / (1 + math.Abs(ref.Objective))
+		}
+		return sum / trials
+	}
+	e0 := meanErr(0)
+	e20 := meanErr(0.20)
+	if e20 < e0/2 {
+		t.Errorf("20%% variation error (%v) implausibly below no-variation error (%v)", e20, e0)
+	}
+	if e20 > 0.25 {
+		t.Errorf("20%% variation error %v far above the paper's ≤10%% band", e20)
+	}
+}

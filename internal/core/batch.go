@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// SolveBatch solves a sequence of problems that share one constraint matrix
+// A but differ in b and c — the paper's "high-data-rate applications"
+// scenario (e.g. a router re-solving the same topology as demands change).
+// The extended system is programmed onto the fabric once; each subsequent
+// solve only refreshes the X/Y/Z/W complementarity rows, so the dominant
+// O(size²) programming cost is amortized across the whole batch. The fabric
+// (and therefore its static per-device variation) persists across solves,
+// exactly as deployed hardware would behave.
+//
+// All problems must have identical A (checked); b and c may vary freely.
+func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
+	if len(problems) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", lp.ErrInvalid)
+	}
+	first := problems[0]
+	if err := first.Validate(); err != nil {
+		return nil, err
+	}
+	for i, p := range problems[1:] {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("problem %d: %w", i+1, err)
+		}
+		if !p.A.Equal(first.A, 0) {
+			return nil, fmt.Errorf("%w: problem %d has a different constraint matrix", lp.ErrInvalid, i+1)
+		}
+	}
+
+	// Build the shared fabric once, from the first (equilibrated) problem.
+	// Row equilibration depends only on A and b; within a batch the b's
+	// differ, so the batch uses A-only scaling to keep the programmed
+	// A-blocks valid for every instance.
+	n, m := first.NumVariables(), first.NumConstraints()
+	_ = n
+	scales := make([]float64, m)
+	aShared := first.A.Clone()
+	for i := 0; i < m; i++ {
+		var mx float64
+		for _, v := range aShared.RawRow(i) {
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		scales[i] = mx
+		row := aShared.RawRow(i)
+		for j := range row {
+			row[j] /= mx
+		}
+	}
+
+	var fab Fabric
+	var ext *extended
+	results := make([]*Result, 0, len(problems))
+	for idx, p := range problems {
+		// Scale this instance's b by the shared row scales.
+		b := p.B.Clone()
+		for i := range b {
+			b[i] /= scales[i]
+		}
+		scaled := &lp.Problem{Name: p.Name, C: p.C, A: aShared, B: b}
+
+		if fab == nil {
+			x := onesVector(n)
+			y := onesVector(m)
+			var err error
+			ext, err = newExtended(scaled, x, y, y.Clone(), x.Clone())
+			if err != nil {
+				return nil, err
+			}
+			fab, err = s.opts.Fabric(ext.size)
+			if err != nil {
+				return nil, fmt.Errorf("core: building batch fabric: %w", err)
+			}
+			if err := fab.Program(ext.matrix); err != nil {
+				return nil, fmt.Errorf("core: programming batch fabric: %w", err)
+			}
+		}
+
+		res, err := s.solveOnFabric(scaled, p, scales, ext, fab)
+		if err != nil {
+			return nil, fmt.Errorf("problem %d: %w", idx, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// solveOnFabric runs the Algorithm 1 iteration on an already-programmed
+// fabric, resetting the complementarity rows to the all-ones start first.
+// scaled is the equilibrated problem driving the iteration; orig is used
+// for the final α-check and objective; scales unscale the duals.
+func (s *Solver) solveOnFabric(scaled, orig *lp.Problem, scales []float64, ext *extended, fab Fabric) (*Result, error) {
+	n, m := scaled.NumVariables(), scaled.NumConstraints()
+	tol := s.opts.Tol
+
+	x := onesVector(n)
+	y := onesVector(m)
+	w := onesVector(m)
+	z := onesVector(n)
+
+	// Reset the complementarity rows for the fresh solve (2(n+m) cells).
+	ext.fillDiagRows(x, y, w, z)
+	for _, u := range ext.diagRowUpdates(x, y, w, z) {
+		if err := fab.UpdateRow(u.index, u.row); err != nil {
+			return nil, fmt.Errorf("core: resetting fabric row: %w", err)
+		}
+	}
+
+	sExt := ext.stateVector(x, y, w, z)
+	factor := ext.factorVector()
+	x = sExt[0:n]
+	y = sExt[n : n+m]
+	w = sExt[n+m : n+2*m]
+	z = sExt[n+2*m : 2*n+2*m]
+
+	res := &Result{Status: lp.StatusIterationLimit, MatrixSize: ext.size}
+	bestGap := infNaN()
+	stall := 0
+	prevNorm := 0.0
+	best := snapshot{score: infNaN()}
+
+	for iter := 1; iter <= tol.MaxIterations; iter++ {
+		res.Iterations = iter
+		gap := dualityGap(x, z, y, w)
+		mu := tol.Delta * gap / float64(n+m)
+		r, err := fab.MatVecResidual(ext.baseVector(scaled, mu), sExt, factor)
+		if err != nil {
+			return nil, fmt.Errorf("core: residual mat-vec: %w", err)
+		}
+		res.PrimalInfeasibility = normInfRange(r, ext.rowR1(0), ext.m)
+		res.DualInfeasibility = normInfRange(r, ext.rowR2(0), ext.n)
+		res.DualityGap = gap
+		best.consider(res.PrimalInfeasibility, res.DualInfeasibility, gap, x, y, w, z)
+
+		if res.PrimalInfeasibility <= tol.PrimalFeasTol &&
+			res.DualInfeasibility <= tol.DualFeasTol && gap <= tol.GapTol {
+			res.Status = lp.StatusOptimal
+			break
+		}
+		if x.NormInf() > tol.BlowupLimit {
+			res.Status = lp.StatusUnbounded
+			break
+		}
+		if y.NormInf() > tol.BlowupLimit {
+			res.Status = lp.StatusInfeasible
+			break
+		}
+		norm := x.NormInf()
+		if yn := y.NormInf(); yn > norm {
+			norm = yn
+		}
+		growing := norm > prevNorm*1.02
+		prevNorm = norm
+		if gap < bestGap*(1-1e-3) {
+			bestGap = gap
+			stall = 0
+		} else if !growing {
+			stall++
+			if stall >= s.opts.StallWindow {
+				res.Status = lp.StatusOptimal
+				break
+			}
+		}
+
+		ds, err := fab.Solve(r)
+		if err != nil {
+			res.Status = lp.StatusNumericalFailure
+			break
+		}
+		dx, dy, dw, dz := ext.split(ds)
+		if !dx.AllFinite() || !dy.AllFinite() || !dw.AllFinite() || !dz.AllFinite() {
+			res.Status = lp.StatusNumericalFailure
+			break
+		}
+		theta := stepLength(tol.StepScale, [][2]linalg.Vector{
+			{x, dx}, {y, dy}, {w, dw}, {z, dz},
+		})
+		if err := sExt.AxpyInPlace(theta, ds); err != nil {
+			return nil, err
+		}
+		clampPositive(x, y, w, z)
+		ext.fillDiagRows(x, y, w, z)
+		for _, u := range ext.diagRowUpdates(x, y, w, z) {
+			if err := fab.UpdateRow(u.index, u.row); err != nil {
+				return nil, fmt.Errorf("core: updating fabric row: %w", err)
+			}
+		}
+	}
+
+	finalX, finalY, finalW, finalZ := x, y, w, z
+	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
+		if best.valid() {
+			x, y, w, z = best.x, best.y, best.w, best.z
+			res.PrimalInfeasibility = best.pinf
+			res.DualInfeasibility = best.dinf
+			res.DualityGap = best.gap
+		}
+	}
+	res.X, res.Y, res.W, res.Z = x.Clone(), y.Clone(), w.Clone(), z.Clone()
+	for i := range res.Y {
+		res.Y[i] /= scales[i]
+		res.W[i] *= scales[i]
+	}
+	obj, err := orig.Objective(res.X)
+	if err != nil {
+		return nil, err
+	}
+	res.Objective = obj
+	res.Counters = fab.Counters()
+
+	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
+		ok, err := orig.IsFeasible(res.X, s.opts.Alpha-1)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.Status = classifyRejected(finalX, finalY, finalW, finalZ)
+		} else {
+			res.Status = lp.StatusOptimal
+		}
+	}
+	return res, nil
+}

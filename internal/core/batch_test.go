@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/pdip"
+)
+
+// batchProblems builds k instances sharing A with varying b and c.
+func batchProblems(t *testing.T, k int) []*lp.Problem {
+	t.Helper()
+	base, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	out := make([]*lp.Problem, 0, k)
+	for i := 0; i < k; i++ {
+		b := base.B.Clone()
+		c := base.C.Clone()
+		for j := range b {
+			b[j] *= 1 + 0.1*float64(i)
+		}
+		for j := range c {
+			c[j] *= 1 + 0.05*float64(i)
+		}
+		p, err := lp.New(base.Name, c, base.A, b)
+		if err != nil {
+			t.Fatalf("lp.New: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestSolveBatchMatchesIndividualSolves(t *testing.T) {
+	problems := batchProblems(t, 4)
+	s, err := NewSolver(Options{Fabric: SingleCrossbarFactory(crossbar.Config{})})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	results, err := s.SolveBatch(problems)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(results) != len(problems) {
+		t.Fatalf("results = %d, want %d", len(results), len(problems))
+	}
+	ref, err := pdip.New(pdip.WithBackend(pdip.NewtonReduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Status != lp.StatusOptimal {
+			t.Errorf("instance %d: status %v", i, res.Status)
+			continue
+		}
+		want, err := ref.Solve(problems[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.Objective-want.Objective) / (1 + math.Abs(want.Objective)); rel > 0.05 {
+			t.Errorf("instance %d: objective %v, want %v", i, res.Objective, want.Objective)
+		}
+	}
+}
+
+func TestSolveBatchAmortizesProgramming(t *testing.T) {
+	// Large instance, short iteration budget: programming cost dominates,
+	// so the amortization is visible in the write counters.
+	base, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 48, Seed: 5})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	problems := make([]*lp.Problem, 3)
+	for i := range problems {
+		b := base.B.Clone()
+		for j := range b {
+			b[j] *= 1 + 0.05*float64(i)
+		}
+		p, err := lp.New(base.Name, base.C, base.A, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems[i] = p
+	}
+	s, err := NewSolver(Options{
+		Fabric: SingleCrossbarFactory(crossbar.Config{}),
+		Tol:    lp.Tolerances{MaxIterations: 5},
+	})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	results, err := s.SolveBatch(problems)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	// The counters are cumulative on the shared fabric: the marginal writes
+	// of instance 3 must be far below the initial programming cost
+	// (O(N) refreshes per iteration vs nnz programming).
+	first := results[0].Counters.CellWrites
+	marginal := results[2].Counters.CellWrites - results[1].Counters.CellWrites
+	if marginal >= first/2 {
+		t.Errorf("batch did not amortize: first solve %d writes, marginal %d", first, marginal)
+	}
+}
+
+func TestSolveBatchValidation(t *testing.T) {
+	s, err := NewSolver(Options{Fabric: newIdealFabric})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	if _, err := s.SolveBatch(nil); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("empty batch: %v", err)
+	}
+	problems := batchProblems(t, 2)
+	other, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveBatch([]*lp.Problem{problems[0], other}); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("mismatched A: %v", err)
+	}
+	bad := &lp.Problem{A: problems[0].A, C: linalg.VectorOf(1), B: problems[0].B}
+	if _, err := s.SolveBatch([]*lp.Problem{problems[0], bad}); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("invalid problem: %v", err)
+	}
+}

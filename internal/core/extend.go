@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// extended holds the non-negative reformulation of the full Newton system
+// (Eq. 14a). The variable vector is
+//
+//	Δs = [Δx(n) | Δy(m) | Δw(m) | Δz(n) | Δu(m) | Δv(n) | Δp(q)]
+//
+// and the block rows are
+//
+//	r1 (m): A′·Δx + I·Δw + A″·Δp                = b − A·x − w
+//	r2 (n): Aᵀ′·Δy + I·Δv + Aᵀ″·Δp              = c − Aᵀ·y + z
+//	r3 (n): Z·Δx + X·Δz                          = µ1 − XZe
+//	r4 (m): W·Δy + Y·Δw                          = µ1 − YWe
+//	r5 (m): Δw + Δu                              = 0
+//	r6 (n): Δz + Δv                              = 0
+//	r7 (q): Δx_j + Δp_k  or  Δy_k' + Δp_k        = 0
+//
+// where A′/Aᵀ′ zero out the negative entries of A/Aᵀ, A″/Aᵀ″ carry their
+// absolute values in the Δp columns (Eq. 13), and q is the number of columns
+// of A (resp. rows of A) containing at least one negative entry.
+type extended struct {
+	n, m, q int
+	size    int
+
+	// pOfX[j] is the Δp index mirroring −Δx_j, or -1; pOfY likewise for y.
+	pOfX, pOfY []int
+
+	// matrix is the digital mirror of what is programmed on the fabric.
+	matrix *linalg.Matrix
+}
+
+// Column offsets within the extended variable vector.
+func (e *extended) colX(j int) int { return j }
+func (e *extended) colY(k int) int { return e.n + k }
+func (e *extended) colW(k int) int { return e.n + e.m + k }
+func (e *extended) colZ(j int) int { return e.n + 2*e.m + j }
+func (e *extended) colU(k int) int { return 2*e.n + 2*e.m + k }
+func (e *extended) colV(j int) int { return 2*e.n + 3*e.m + j }
+func (e *extended) colP(k int) int { return 3*e.n + 3*e.m + k }
+
+// Row offsets of the block rows.
+func (e *extended) rowR1(i int) int { return i }
+func (e *extended) rowR2(i int) int { return e.m + i }
+func (e *extended) rowR3(i int) int { return e.m + e.n + i }
+func (e *extended) rowR4(i int) int { return e.m + 2*e.n + i }
+func (e *extended) rowR5(i int) int { return 2*e.m + 2*e.n + i }
+func (e *extended) rowR6(i int) int { return 3*e.m + 2*e.n + i }
+func (e *extended) rowR7(i int) int { return 3*e.m + 3*e.n + i }
+
+// newExtended builds the extended matrix for problem p with the initial
+// interior point (x, y, w, z).
+func newExtended(p *lp.Problem, x, y, w, z linalg.Vector) (*extended, error) {
+	n, m := p.NumVariables(), p.NumConstraints()
+	e := &extended{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m)}
+
+	// Assign Δp slots: one per column of A with a negative entry (mirrors
+	// −Δx_j) and one per row of A with a negative entry (mirrors −Δy_k,
+	// because row k of A is column k of Aᵀ).
+	q := 0
+	for j := 0; j < n; j++ {
+		e.pOfX[j] = -1
+		for i := 0; i < m; i++ {
+			if p.A.At(i, j) < 0 {
+				e.pOfX[j] = q
+				q++
+				break
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		e.pOfY[k] = -1
+		for j := 0; j < n; j++ {
+			if p.A.At(k, j) < 0 {
+				e.pOfY[k] = q
+				q++
+				break
+			}
+		}
+	}
+	e.q = q
+	e.size = 3*n + 3*m + q
+	e.matrix = linalg.NewMatrix(e.size, e.size)
+
+	mtx := e.matrix
+	// r1: A′ on Δx, |negatives| on Δp, I on Δw.
+	for i := 0; i < m; i++ {
+		r := e.rowR1(i)
+		for j := 0; j < n; j++ {
+			v := p.A.At(i, j)
+			if v >= 0 {
+				mtx.Set(r, e.colX(j), v)
+			} else {
+				mtx.Set(r, e.colP(e.pOfX[j]), -v)
+			}
+		}
+		mtx.Set(r, e.colW(i), 1)
+	}
+	// r2: Aᵀ′ on Δy, |negatives| on Δp (y-mirrors), I on Δv.
+	for i := 0; i < n; i++ {
+		r := e.rowR2(i)
+		for k := 0; k < m; k++ {
+			v := p.A.At(k, i) // Aᵀ(i,k)
+			if v >= 0 {
+				mtx.Set(r, e.colY(k), v)
+			} else {
+				mtx.Set(r, e.colP(e.pOfY[k]), -v)
+			}
+		}
+		mtx.Set(r, e.colV(i), 1)
+	}
+	// r3/r4: complementarity diagonals, refreshed every iteration.
+	e.fillDiagRows(x, y, w, z)
+	// r5: Δw + Δu = 0.
+	for i := 0; i < m; i++ {
+		r := e.rowR5(i)
+		mtx.Set(r, e.colW(i), 1)
+		mtx.Set(r, e.colU(i), 1)
+	}
+	// r6: Δz + Δv = 0.
+	for i := 0; i < n; i++ {
+		r := e.rowR6(i)
+		mtx.Set(r, e.colZ(i), 1)
+		mtx.Set(r, e.colV(i), 1)
+	}
+	// r7: Δx_j + Δp = 0 and Δy_k + Δp = 0.
+	for j := 0; j < n; j++ {
+		if k := e.pOfX[j]; k >= 0 {
+			r := e.rowR7(k)
+			mtx.Set(r, e.colX(j), 1)
+			mtx.Set(r, e.colP(k), 1)
+		}
+	}
+	for y0 := 0; y0 < m; y0++ {
+		if k := e.pOfY[y0]; k >= 0 {
+			r := e.rowR7(k)
+			mtx.Set(r, e.colY(y0), 1)
+			mtx.Set(r, e.colP(k), 1)
+		}
+	}
+
+	if !mtx.AllNonNegative() {
+		return nil, fmt.Errorf("core: internal error: extended matrix has negative entries")
+	}
+	return e, nil
+}
+
+// fillDiagRows writes the X/Y/Z/W complementarity entries into the digital
+// mirror (rows r3 and r4).
+func (e *extended) fillDiagRows(x, y, w, z linalg.Vector) {
+	for i := 0; i < e.n; i++ {
+		r := e.rowR3(i)
+		e.matrix.Set(r, e.colX(i), z[i])
+		e.matrix.Set(r, e.colZ(i), x[i])
+	}
+	for i := 0; i < e.m; i++ {
+		r := e.rowR4(i)
+		e.matrix.Set(r, e.colY(i), w[i])
+		e.matrix.Set(r, e.colW(i), y[i])
+	}
+}
+
+// diagRowUpdates returns, for the current (x, y, w, z), the list of row
+// indices and their new contents — the O(N) per-iteration coefficient
+// refresh (2.7N cells for n = m/3, as §4.4 counts).
+func (e *extended) diagRowUpdates(x, y, w, z linalg.Vector) []rowUpdate {
+	updates := make([]rowUpdate, 0, e.n+e.m)
+	for i := 0; i < e.n; i++ {
+		row := linalg.NewVector(e.size)
+		row[e.colX(i)] = z[i]
+		row[e.colZ(i)] = x[i]
+		updates = append(updates, rowUpdate{index: e.rowR3(i), row: row})
+	}
+	for i := 0; i < e.m; i++ {
+		row := linalg.NewVector(e.size)
+		row[e.colY(i)] = w[i]
+		row[e.colW(i)] = y[i]
+		updates = append(updates, rowUpdate{index: e.rowR4(i), row: row})
+	}
+	return updates
+}
+
+type rowUpdate struct {
+	index int
+	row   linalg.Vector
+}
+
+// stateVector assembles s = [x, y, w, z, u, v, p] with u = −w, v = −z and
+// p the mirrors of the negated x/y components (Eq. 15b).
+func (e *extended) stateVector(x, y, w, z linalg.Vector) linalg.Vector {
+	s := linalg.NewVector(e.size)
+	copy(s[0:e.n], x)
+	copy(s[e.n:e.n+e.m], y)
+	copy(s[e.n+e.m:e.n+2*e.m], w)
+	copy(s[e.n+2*e.m:2*e.n+2*e.m], z)
+	for i := 0; i < e.m; i++ {
+		s[e.colU(i)] = -w[i]
+	}
+	for i := 0; i < e.n; i++ {
+		s[e.colV(i)] = -z[i]
+	}
+	for j := 0; j < e.n; j++ {
+		if k := e.pOfX[j]; k >= 0 {
+			s[e.colP(k)] = -x[j]
+		}
+	}
+	for k := 0; k < e.m; k++ {
+		if idx := e.pOfY[k]; idx >= 0 {
+			s[e.colP(idx)] = -y[k]
+		}
+	}
+	return s
+}
+
+// baseVector assembles the static reference of Eq. 15a,
+// [b; c; µ1; µ1; 0; 0; 0], which the summing amplifiers subtract the analog
+// product from. Only the µ entries change between iterations.
+func (e *extended) baseVector(p *lp.Problem, mu float64) linalg.Vector {
+	base := linalg.NewVector(e.size)
+	for i := 0; i < e.m; i++ {
+		base[e.rowR1(i)] = p.B[i]
+	}
+	for i := 0; i < e.n; i++ {
+		base[e.rowR2(i)] = p.C[i]
+	}
+	for i := 0; i < e.n; i++ {
+		base[e.rowR3(i)] = mu
+	}
+	for i := 0; i < e.m; i++ {
+		base[e.rowR4(i)] = mu
+	}
+	return base
+}
+
+// factorVector returns the per-row analog dividers of Eq. 15: the r3/r4 rows
+// arrive as 2XZe and 2YWe and are halved by a resistive divider before the
+// subtraction; all other rows pass through unchanged.
+func (e *extended) factorVector() linalg.Vector {
+	f := linalg.NewVector(e.size)
+	f.Fill(1)
+	for i := 0; i < e.n; i++ {
+		f[e.rowR3(i)] = 0.5
+	}
+	for i := 0; i < e.m; i++ {
+		f[e.rowR4(i)] = 0.5
+	}
+	return f
+}
+
+// split extracts (Δx, Δy, Δw, Δz) from the extended solution vector.
+func (e *extended) split(ds linalg.Vector) (dx, dy, dw, dz linalg.Vector) {
+	dx = ds[0:e.n].Clone()
+	dy = ds[e.n : e.n+e.m].Clone()
+	dw = ds[e.n+e.m : e.n+2*e.m].Clone()
+	dz = ds[e.n+2*e.m : 2*e.n+2*e.m].Clone()
+	return dx, dy, dw, dz
+}

@@ -1,0 +1,64 @@
+// Package core implements the paper's contribution: two memristor
+// crossbar-based linear-program solvers built on the primal–dual
+// interior-point method.
+//
+//   - Solver (Algorithm 1, §3.2) reformulates the full Newton system as one
+//     non-negative square system (Eq. 13–15) with compensation variables
+//     Δu = −Δw, Δv = −Δz and Δp (mirrors of the negated columns of A/Aᵀ),
+//     programs it on the analog fabric once, refreshes only the X/Y/Z/W
+//     cells each iteration (O(N) writes), and performs both the residual
+//     computation (one analog mat-vec plus the divide-by-2 fix-up of
+//     Eq. 15b) and the Newton solve (one analog settle) on the fabric.
+//
+//   - LargeScaleSolver (Algorithm 2, §3.4) splits the Newton system into the
+//     two smaller systems of Eq. 16, regularizes the singular block matrix
+//     with small RU/RL fillers (Eq. 16c), uses a constant step length, and
+//     re-solves once when convergence fails (§4.3's "double checking").
+package core
+
+import (
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+// Fabric is the analog compute substrate the solvers drive: a single
+// memristor crossbar (*crossbar.Crossbar satisfies this) or a NoC-coordinated
+// group of crossbars for matrices beyond a single array's size.
+type Fabric interface {
+	// Program writes a non-negative matrix into the fabric.
+	Program(a *linalg.Matrix) error
+	// UpdateRow rewrites one row's coefficients in place.
+	UpdateRow(i int, row linalg.Vector) error
+	// UpdateCellInPlace rewrites one coefficient with a single device write,
+	// without re-balancing the rest of its row.
+	UpdateCellInPlace(i, j int, value float64) error
+	// MatVec multiplies the programmed matrix by v in the analog domain.
+	MatVec(v linalg.Vector) (linalg.Vector, error)
+	// MatVecResidual computes base − factor∘(programmedMatrix·v) with the
+	// subtraction in the analog domain (summing amplifiers), so only the
+	// residual passes the ADC. factor nil means all ones.
+	MatVecResidual(base, v, factor linalg.Vector) (linalg.Vector, error)
+	// Solve solves programmedMatrix · x = b in the analog domain.
+	Solve(b linalg.Vector) (linalg.Vector, error)
+	// Counters reports cumulative operation counts for cost estimation.
+	Counters() crossbar.Counters
+}
+
+// Compile-time check: a single crossbar is a valid fabric.
+var _ Fabric = (*crossbar.Crossbar)(nil)
+
+// FabricFactory builds a fabric able to hold a size×size matrix. The solvers
+// call it once per Solve with the extended system's dimension.
+type FabricFactory func(size int) (Fabric, error)
+
+// SingleCrossbarFactory returns a factory producing one crossbar per solve,
+// configured from cfg but sized to the requested matrix.
+func SingleCrossbarFactory(cfg crossbar.Config) FabricFactory {
+	return func(size int) (Fabric, error) {
+		c := cfg
+		if c.Size < size {
+			c.Size = size
+		}
+		return crossbar.New(c)
+	}
+}

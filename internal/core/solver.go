@@ -1,0 +1,533 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// ErrNoFabric is returned when a solver is constructed without a fabric
+// factory and no default can be built.
+var ErrNoFabric = errors.New("core: no fabric factory configured")
+
+// Options configures both crossbar solvers.
+type Options struct {
+	// Tol holds the PDIP stopping parameters (εb, εc, εg, δ, r, …).
+	Tol lp.Tolerances
+	// Alpha is the relaxed feasibility parameter of §3.2: the final point
+	// is accepted when A·x ≤ α·b element-wise (α slightly above 1 absorbs
+	// process-variation distortion of the constraints). Zero means 1.05.
+	Alpha float64
+	// StallWindow stops the iteration when the duality gap has not improved
+	// for this many consecutive iterations — the analog accuracy floor.
+	// Zero means 10.
+	StallWindow int
+	// Fabric builds the analog substrate for a given matrix size.
+	// Nil means a single ideal-variation-free crossbar of sufficient size
+	// (crossbar defaults, no variation).
+	Fabric FabricFactory
+	// ConstantStep is Algorithm 2's fixed step length θ (§3.4: "constant to
+	// guarantee convergence"). Zero means 0.2 (the AB1 ablation sweeps the
+	// usable band). Ignored by Algorithm 1.
+	ConstantStep float64
+	// MaxResolves is Algorithm 2's "double checking scheme" budget: how many
+	// times a failed solve is retried with freshly written (hence freshly
+	// perturbed) coefficients. Zero means 1. Ignored by Algorithm 1.
+	MaxResolves int
+	// Regularization scales Algorithm 2's literal RU/RL filler entries
+	// relative to the mean |A| entry (§3.4: "very small"); only used with
+	// LiteralFillers. Zero means 0.02. Ignored by Algorithm 1.
+	Regularization float64
+	// LiteralFillers selects the paper-literal reading of Eq. 16c for
+	// Algorithm 2: static εI fillers in the RU/RL slots instead of the
+	// reduced-KKT diagonals (see the LargeScaleSolver doc). Unstable for
+	// m ≠ n; kept for the AB2 ablation. Ignored by Algorithm 1.
+	LiteralFillers bool
+	// Trace, when non-nil, receives per-iteration telemetry.
+	Trace func(t TraceEntry)
+}
+
+// TraceEntry is the per-iteration telemetry passed to Options.Trace.
+type TraceEntry struct {
+	Iteration           int
+	PrimalInfeasibility float64
+	DualInfeasibility   float64
+	DualityGap          float64
+	Mu                  float64
+	Theta               float64
+}
+
+func (o Options) withDefaults() Options {
+	o.Tol = o.Tol.WithDefaults()
+	if o.Alpha == 0 {
+		o.Alpha = 1.05
+	}
+	if o.StallWindow == 0 {
+		o.StallWindow = 10
+	}
+	if o.Fabric == nil {
+		o.Fabric = SingleCrossbarFactory(crossbar.Config{})
+	}
+	if o.ConstantStep == 0 {
+		o.ConstantStep = 0.2
+	}
+	if o.MaxResolves == 0 {
+		o.MaxResolves = 1
+	}
+	if o.Regularization == 0 {
+		o.Regularization = 0.02
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if err := o.Tol.Validate(); err != nil {
+		return err
+	}
+	if o.Alpha < 1 {
+		return fmt.Errorf("%w: alpha %v below 1", lp.ErrInvalid, o.Alpha)
+	}
+	if o.StallWindow < 1 {
+		return fmt.Errorf("%w: stall window %d", lp.ErrInvalid, o.StallWindow)
+	}
+	if !(o.ConstantStep > 0 && o.ConstantStep < 1) {
+		return fmt.Errorf("%w: constant step %v outside (0,1)", lp.ErrInvalid, o.ConstantStep)
+	}
+	if o.MaxResolves < 0 {
+		return fmt.Errorf("%w: max resolves %d", lp.ErrInvalid, o.MaxResolves)
+	}
+	if !(o.Regularization > 0 && o.Regularization < 1) {
+		return fmt.Errorf("%w: regularization %v outside (0,1)", lp.ErrInvalid, o.Regularization)
+	}
+	return nil
+}
+
+// Result reports a crossbar solve, including the fabric operation counts the
+// performance estimator turns into latency/energy figures.
+type Result struct {
+	Status     lp.Status
+	X, Y, W, Z linalg.Vector
+	Objective  float64
+	Iterations int
+
+	PrimalInfeasibility float64
+	DualInfeasibility   float64
+	DualityGap          float64
+
+	// Counters aggregates the fabric's physical operation counts.
+	Counters crossbar.Counters
+	// MatrixSize is the extended system dimension programmed on the fabric.
+	MatrixSize int
+	// Resolves counts Algorithm 2 re-solve attempts that were consumed.
+	Resolves int
+}
+
+// Solver is Algorithm 1: the memristor crossbar-based linear program solver.
+type Solver struct {
+	opts Options
+}
+
+// NewSolver returns an Algorithm 1 solver.
+func NewSolver(opts Options) (*Solver, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{opts: opts}, nil
+}
+
+// Solve runs Algorithm 1 on p.
+func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := p.NumVariables(), p.NumConstraints()
+	tol := s.opts.Tol
+
+	x := onesVector(n)
+	y := onesVector(m)
+	w := onesVector(m)
+	z := onesVector(n)
+
+	ext, err := newExtended(p, x, y, w, z)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := s.opts.Fabric(ext.size)
+	if err != nil {
+		return nil, fmt.Errorf("core: building fabric: %w", err)
+	}
+	if err := fab.Program(ext.matrix); err != nil {
+		return nil, fmt.Errorf("core: programming fabric: %w", err)
+	}
+
+	// The full extended state s = [x, y, w, z, u, v, p] is updated as one
+	// vector with the fabric's Δs — exactly Algorithm 1's "s = s + θΔs".
+	// Re-deriving u/v/p digitally each iteration (u = −w, …) would fight
+	// the fabric's variation-perturbed consistency rows and leak a
+	// var-proportional fraction of every step into the residuals.
+	sExt := ext.stateVector(x, y, w, z)
+	factor := ext.factorVector()
+	x = sExt[0:n]
+	y = sExt[n : n+m]
+	w = sExt[n+m : n+2*m]
+	z = sExt[n+2*m : 2*n+2*m]
+
+	res := &Result{Status: lp.StatusIterationLimit, MatrixSize: ext.size}
+	bestGap := infNaN()
+	stall := 0
+	prevNorm := 0.0
+	// The controller monitors the measured residuals (they fall out of the
+	// analog mat-vec for free) and keeps the best iterate seen: near the
+	// accuracy floor the analog noise can push later iterates away from
+	// feasibility again.
+	best := snapshot{score: infNaN()}
+
+	for iter := 1; iter <= tol.MaxIterations; iter++ {
+		res.Iterations = iter
+
+		// The duality gap zᵀx + yᵀw is computed digitally (the controller
+		// holds s) — Eq. 8.
+		gap := dualityGap(x, z, y, w)
+		mu := tol.Delta * gap / float64(n+m)
+		// Residual r in one fused analog operation (Eq. 15): the fabric
+		// computes M·s, halves the r3/r4 rows with resistive dividers, and
+		// subtracts from the calibrated base at the summing amplifiers —
+		// only the residual itself passes the ADC, so there is no
+		// large-product cancellation noise.
+		r, err := fab.MatVecResidual(ext.baseVector(p, mu), sExt, factor)
+		if err != nil {
+			return nil, fmt.Errorf("core: residual mat-vec: %w", err)
+		}
+
+		// Convergence measures come from the measured residual (the analog
+		// path), exactly as the hardware controller would read them.
+		res.PrimalInfeasibility = normInfRange(r, ext.rowR1(0), ext.m)
+		res.DualInfeasibility = normInfRange(r, ext.rowR2(0), ext.n)
+		res.DualityGap = gap
+
+		best.consider(res.PrimalInfeasibility, res.DualInfeasibility, gap, x, y, w, z)
+
+		if res.PrimalInfeasibility <= tol.PrimalFeasTol &&
+			res.DualInfeasibility <= tol.DualFeasTol &&
+			gap <= tol.GapTol {
+			res.Status = lp.StatusOptimal
+			break
+		}
+		if x.NormInf() > tol.BlowupLimit {
+			res.Status = lp.StatusUnbounded
+			break
+		}
+		if y.NormInf() > tol.BlowupLimit {
+			res.Status = lp.StatusInfeasible
+			break
+		}
+		// Analog accuracy floor: stop when the gap no longer improves —
+		// but not while the iterates are still growing, which signals an
+		// infeasible/unbounded instance marching toward the blow-up check.
+		norm := x.NormInf()
+		if yn := y.NormInf(); yn > norm {
+			norm = yn
+		}
+		growing := norm > prevNorm*1.02
+		prevNorm = norm
+		if gap < bestGap*(1-1e-3) {
+			bestGap = gap
+			stall = 0
+		} else if !growing {
+			stall++
+			if stall >= s.opts.StallWindow {
+				res.Status = lp.StatusOptimal
+				break
+			}
+		}
+
+		// Newton step: one analog settle.
+		ds, err := fab.Solve(r)
+		if err != nil {
+			if errors.Is(err, crossbar.ErrSingular) {
+				res.Status = lp.StatusNumericalFailure
+				break
+			}
+			return nil, fmt.Errorf("core: analog solve: %w", err)
+		}
+		dx, dy, dw, dz := ext.split(ds)
+		if !dx.AllFinite() || !dy.AllFinite() || !dw.AllFinite() || !dz.AllFinite() {
+			res.Status = lp.StatusNumericalFailure
+			break
+		}
+
+		theta := stepLength(tol.StepScale, [][2]linalg.Vector{
+			{x, dx}, {y, dy}, {w, dw}, {z, dz},
+		})
+		if s.opts.Trace != nil {
+			s.opts.Trace(TraceEntry{
+				Iteration:           iter,
+				PrimalInfeasibility: res.PrimalInfeasibility,
+				DualInfeasibility:   res.DualInfeasibility,
+				DualityGap:          gap,
+				Mu:                  mu,
+				Theta:               theta,
+			})
+		}
+		// One summing-amplifier update of the whole extended state
+		// (x, y, w, z views alias sExt).
+		if err := sExt.AxpyInPlace(theta, ds); err != nil {
+			return nil, err
+		}
+		clampPositive(x, y, w, z)
+
+		// Refresh the complementarity diagonals on the fabric: the O(N)
+		// per-iteration write (2(n+m) ≈ 2.7N cells for n = m/3).
+		ext.fillDiagRows(x, y, w, z)
+		for _, u := range ext.diagRowUpdates(x, y, w, z) {
+			if err := fab.UpdateRow(u.index, u.row); err != nil {
+				if errors.Is(err, crossbar.ErrTooLarge) {
+					// Row outgrew the programmed headroom: reprogram the
+					// full array (counted as a full rewrite).
+					if err := fab.Program(ext.matrix); err != nil {
+						return nil, fmt.Errorf("core: reprogramming fabric: %w", err)
+					}
+					break
+				}
+				return nil, fmt.Errorf("core: updating fabric row: %w", err)
+			}
+		}
+	}
+
+	// Prefer the best-residual iterate over the last one when the solver
+	// converged normally; blow-up detections keep the final (diverged)
+	// point so callers can inspect it. The final iterate is remembered
+	// separately: divergence classification must look at where the
+	// iteration was heading, not at the best snapshot.
+	finalX, finalY, finalW, finalZ := x, y, w, z
+	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
+		if best.valid() {
+			x, y, w, z = best.x, best.y, best.w, best.z
+			res.PrimalInfeasibility = best.pinf
+			res.DualInfeasibility = best.dinf
+			res.DualityGap = best.gap
+		}
+	}
+	res.X, res.Y, res.W, res.Z = x, y, w, z
+	obj, err := p.Objective(x)
+	if err != nil {
+		return nil, err
+	}
+	res.Objective = obj
+	res.Counters = fab.Counters()
+
+	// Robust feasibility detection (§3.2): accept the converged point only
+	// if A·x ≤ α·b; variation can distort the realized constraints, so α is
+	// slightly above 1.
+	// A budget-limited run that still passes the α-check is an acceptable
+	// answer: the analog accuracy floor, not the budget, set its quality.
+	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
+		ok, err := p.IsFeasible(x, s.opts.Alpha-1)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.Status = classifyRejected(finalX, finalY, finalW, finalZ)
+		} else {
+			res.Status = lp.StatusOptimal
+		}
+	}
+	return res, nil
+}
+
+// snapshot keeps the best iterate seen, scored by the worst of the measured
+// convergence quantities (primal/dual infeasibility and duality gap).
+type snapshot struct {
+	score           float64
+	pinf, dinf, gap float64
+	x, y, w, z      linalg.Vector
+}
+
+func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
+	score := pinf
+	if dinf > score {
+		score = dinf
+	}
+	if gap > score {
+		score = gap
+	}
+	if score >= s.score {
+		return
+	}
+	s.score = score
+	s.pinf, s.dinf, s.gap = pinf, dinf, gap
+	s.x, s.y, s.w, s.z = x.Clone(), y.Clone(), w.Clone(), z.Clone()
+}
+
+func (s *snapshot) valid() bool { return s.x != nil }
+
+// equilibrate row-scales the problem: each constraint row of [A | b] is
+// divided by its maximum absolute coefficient, a standard digital presolve
+// that the controller performs once in O(N²). It bounds the dynamic range
+// of the slack variables w (and hence of the w/y coupling coefficients the
+// analog fabric must represent) without changing the primal solution; the
+// dual variables scale as y = y'/d and are unscaled before returning.
+// Algorithm 2 depends on it (its M1 carries the w/y couplings); Algorithm 1
+// deliberately does not use it — compressing b flattens the slack scale and
+// slows its adaptive-step convergence measurably at large m.
+func equilibrate(p *lp.Problem) (*lp.Problem, linalg.Vector) {
+	m := p.NumConstraints()
+	d := linalg.NewVector(m)
+	a := p.A.Clone()
+	b := p.B.Clone()
+	for i := 0; i < m; i++ {
+		var mx float64
+		for _, v := range a.RawRow(i) {
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if bv := b[i]; bv < 0 && -bv > mx {
+			mx = -bv
+		} else if bv > mx {
+			mx = bv
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		d[i] = mx
+		row := a.RawRow(i)
+		for j := range row {
+			row[j] /= mx
+		}
+		b[i] /= mx
+	}
+	return &lp.Problem{Name: p.Name, C: p.C, A: a, B: b}, d
+}
+
+// unscaleDual maps the equilibrated problem's duals back to the original
+// problem's units: y = y'/d (and the slacks w = d·w').
+func unscaleDual(y, w, d linalg.Vector) {
+	for i := range y {
+		y[i] /= d[i]
+		w[i] *= d[i]
+	}
+}
+
+// --- shared helpers -------------------------------------------------------
+
+func onesVector(n int) linalg.Vector {
+	v := linalg.NewVector(n)
+	v.Fill(1)
+	return v
+}
+
+func dualityGap(x, z, y, w linalg.Vector) float64 {
+	zx, _ := z.Dot(x)
+	yw, _ := y.Dot(w)
+	return zx + yw
+}
+
+// stepLength implements Eq. 11. Components that have shrunk far below their
+// vector's scale are excluded from the ratio test: the analog fabric cannot
+// represent coefficients that small (finite conductance dynamic range), so a
+// floored complementarity row can demand pushing such a variable negative
+// forever. Without the exclusion, a single such component collapses θ
+// geometrically (θ ← θ/10 each iteration) and deadlocks every other variable.
+func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
+	maxRatio := 0.0
+	for _, pr := range pairs {
+		v, dv := pr[0], pr[1]
+		pin := 1e-6 * v.Max()
+		if pin < 1e-10 {
+			pin = 1e-10
+		}
+		for i := range v {
+			if dv[i] < 0 && v[i] > pin {
+				if ratio := -dv[i] / v[i]; ratio > maxRatio {
+					maxRatio = ratio
+				}
+			}
+		}
+	}
+	if maxRatio <= 1 {
+		return r
+	}
+	return r / maxRatio
+}
+
+func axpyAll(theta float64, pairs ...linalg.Vector) {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v, dv := pairs[i], pairs[i+1]
+		for j := range v {
+			v[j] += theta * dv[j]
+		}
+	}
+}
+
+func clampPositive(vs ...linalg.Vector) {
+	const floor = 1e-12
+	for _, v := range vs {
+		for i, x := range v {
+			if x < floor {
+				v[i] = floor
+			}
+		}
+	}
+}
+
+// slewLimit returns the largest step fraction that keeps θ·|Δ|∞ within a few
+// multiples of the state's own scale — the summing-amplifier saturation
+// bound. Returns +Inf-like (1.0) when the step is already tame.
+func slewLimit(state, delta linalg.Vector) float64 {
+	const slewFactor = 4.0
+	limit := slewFactor * (1 + state.NormInf())
+	d := delta.NormInf()
+	if d <= limit {
+		return 1
+	}
+	return limit / d
+}
+
+// classifyRejected refines a stall-converged-but-α-rejected result using the
+// §3.1 duality argument: a diverged dual side (y or the dual slacks z)
+// indicates primal infeasibility, a diverged primal side (x or the primal
+// slacks w) indicates an unbounded objective; otherwise the solve is a plain
+// numerical failure. Interior points start at all-ones, so a side that has
+// grown by orders of magnitude while the other stayed small is a divergence
+// ray, even when step guards kept it below the hard blow-up limit.
+func classifyRejected(x, y, w, z linalg.Vector) lp.Status {
+	const grown = 1e3
+	dual := y.NormInf()
+	if zn := z.NormInf(); zn > dual {
+		dual = zn
+	}
+	primal := x.NormInf()
+	if wn := w.NormInf(); wn > primal {
+		primal = wn
+	}
+	if dual > grown && dual > 10*primal {
+		return lp.StatusInfeasible
+	}
+	if primal > grown && primal > 10*dual {
+		return lp.StatusUnbounded
+	}
+	return lp.StatusNumericalFailure
+}
+
+func normInfRange(v linalg.Vector, start, count int) float64 {
+	var mx float64
+	for _, x := range v[start : start+count] {
+		if x < 0 {
+			x = -x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+func infNaN() float64 { return 1e308 }

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/pdip"
+	"github.com/memlp/memlp/internal/variation"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *linalg.Matrix {
+	t.Helper()
+	m, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("MatrixFromRows: %v", err)
+	}
+	return m
+}
+
+func mustProblem(t *testing.T, c linalg.Vector, a *linalg.Matrix, b linalg.Vector) *lp.Problem {
+	t.Helper()
+	p, err := lp.New("test", c, a, b)
+	if err != nil {
+		t.Fatalf("lp.New: %v", err)
+	}
+	return p
+}
+
+// idealOpts uses the exact-math fabric.
+func idealOpts() Options {
+	return Options{Fabric: newIdealFabric}
+}
+
+// crossbarOpts uses a real simulated crossbar with the given variation. The
+// feasibility relaxation α scales with the variation magnitude, since the
+// solution satisfies the perturbed constraints, which differ from the true
+// ones by up to the variation (§3.2's "process variation could severely
+// affect constraints").
+func crossbarOpts(t *testing.T, varPct float64, seed int64) Options {
+	t.Helper()
+	cfg := crossbar.Config{}
+	if varPct > 0 {
+		vm, err := variation.NewPaperModel(varPct, seed)
+		if err != nil {
+			t.Fatalf("NewPaperModel: %v", err)
+		}
+		cfg.Variation = vm
+	}
+	return Options{Fabric: SingleCrossbarFactory(cfg), Alpha: 1.05 + 2*varPct}
+}
+
+func referenceObjective(t *testing.T, p *lp.Problem) float64 {
+	t.Helper()
+	s, err := pdip.New()
+	if err != nil {
+		t.Fatalf("pdip.New: %v", err)
+	}
+	res, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("reference Solve: %v", err)
+	}
+	if res.Status != lp.StatusOptimal {
+		t.Fatalf("reference status = %v", res.Status)
+	}
+	return res.Objective
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"alpha below 1", func(o *Options) { o.Alpha = 0.5 }},
+		{"bad constant step", func(o *Options) { o.ConstantStep = 1.5 }},
+		{"bad regularization", func(o *Options) { o.Regularization = 2 }},
+		{"negative resolves", func(o *Options) { o.MaxResolves = -1 }},
+		{"bad delta", func(o *Options) { o.Tol.Delta = 3 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			o := idealOpts()
+			tc.mutate(&o)
+			if _, err := NewSolver(o); err == nil {
+				t.Error("NewSolver accepted invalid options")
+			}
+			if _, err := NewLargeScaleSolver(o); err == nil {
+				t.Error("NewLargeScaleSolver accepted invalid options")
+			}
+		})
+	}
+}
+
+func TestExtendedSystemShape(t *testing.T) {
+	// A = [[1, -2], [-3, 4]]: both columns and both rows contain negatives,
+	// so q = 2 (x mirrors) + 2 (y mirrors) = 4.
+	p := mustProblem(t, linalg.VectorOf(1, 1),
+		mustMatrix(t, [][]float64{{1, -2}, {-3, 4}}), linalg.VectorOf(5, 5))
+	ones := onesVector(2)
+	ext, err := newExtended(p, ones, ones, ones, ones)
+	if err != nil {
+		t.Fatalf("newExtended: %v", err)
+	}
+	if ext.q != 4 {
+		t.Errorf("q = %d, want 4", ext.q)
+	}
+	wantSize := 3*2 + 3*2 + 4
+	if ext.size != wantSize {
+		t.Errorf("size = %d, want %d", ext.size, wantSize)
+	}
+	if !ext.matrix.AllNonNegative() {
+		t.Error("extended matrix has negative entries")
+	}
+}
+
+func TestExtendedMatVecIdentity(t *testing.T) {
+	// Eq. 15b: M·[x,y,w,z,u,v,p] must equal
+	// [Ax+w; Aᵀy−z; 2XZe; 2YWe; 0; 0; 0].
+	p := mustProblem(t, linalg.VectorOf(1, 2),
+		mustMatrix(t, [][]float64{{1, -2}, {-3, 4}, {0.5, 1}}), linalg.VectorOf(5, 5, 5))
+	x := linalg.VectorOf(1.5, 2.5)
+	y := linalg.VectorOf(0.5, 1.5, 2)
+	w := linalg.VectorOf(3, 1, 2)
+	z := linalg.VectorOf(0.25, 0.75)
+	ext, err := newExtended(p, x, y, w, z)
+	if err != nil {
+		t.Fatalf("newExtended: %v", err)
+	}
+	s := ext.stateVector(x, y, w, z)
+	got, err := ext.matrix.MatVec(s)
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+
+	ax, err := p.A.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aty, err := p.A.MatVecTranspose(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := ax[i] + w[i]
+		if math.Abs(got[ext.rowR1(i)]-want) > 1e-12 {
+			t.Errorf("r1[%d] = %v, want %v", i, got[ext.rowR1(i)], want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		want := aty[i] - z[i]
+		if math.Abs(got[ext.rowR2(i)]-want) > 1e-12 {
+			t.Errorf("r2[%d] = %v, want %v", i, got[ext.rowR2(i)], want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		want := 2 * x[i] * z[i]
+		if math.Abs(got[ext.rowR3(i)]-want) > 1e-12 {
+			t.Errorf("r3[%d] = %v, want %v", i, got[ext.rowR3(i)], want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		want := 2 * y[i] * w[i]
+		if math.Abs(got[ext.rowR4(i)]-want) > 1e-12 {
+			t.Errorf("r4[%d] = %v, want %v", i, got[ext.rowR4(i)], want)
+		}
+	}
+	for i := 3*3 + 3*2 - 3 - 2; i < len(got); i++ {
+		// r5..r7 must vanish identically.
+		if math.Abs(got[i]) > 1e-12 {
+			t.Errorf("consistency row %d = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestSolverIdealFabricKnownLPs(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *lp.Problem
+		opt  float64
+	}{
+		{
+			name: "corner",
+			p: mustProblem(t, linalg.VectorOf(3, 2),
+				mustMatrix(t, [][]float64{{1, 1}, {1, 3}}), linalg.VectorOf(4, 6)),
+			opt: 12,
+		},
+		{
+			name: "negative-coeffs",
+			p: mustProblem(t, linalg.VectorOf(1, -1),
+				mustMatrix(t, [][]float64{{-1, 1}, {1, 1}}), linalg.VectorOf(1, 3)),
+			opt: 3,
+		},
+		{
+			name: "vanderbei",
+			p: mustProblem(t, linalg.VectorOf(5, 4, 3),
+				mustMatrix(t, [][]float64{{2, 3, 1}, {4, 1, 2}, {3, 4, 2}}),
+				linalg.VectorOf(5, 11, 8)),
+			opt: 13,
+		},
+	}
+	s, err := NewSolver(idealOpts())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := s.Solve(tc.p)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if res.Status != lp.StatusOptimal {
+				t.Fatalf("status = %v (%+v)", res.Status, res)
+			}
+			if math.Abs(res.Objective-tc.opt) > 1e-3*(1+math.Abs(tc.opt)) {
+				t.Errorf("objective = %v, want %v", res.Objective, tc.opt)
+			}
+		})
+	}
+}
+
+func TestSolverIdealMatchesSoftwarePDIP(t *testing.T) {
+	s, err := NewSolver(idealOpts())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: seed})
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		want := referenceObjective(t, p)
+		res, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		if res.Status != lp.StatusOptimal {
+			t.Fatalf("seed %d: status = %v", seed, res.Status)
+		}
+		if rel := math.Abs(res.Objective-want) / (1 + math.Abs(want)); rel > 1e-3 {
+			t.Errorf("seed %d: objective %v, want %v (rel %v)", seed, res.Objective, want, rel)
+		}
+	}
+}
+
+func TestSolverCrossbarNoVariation(t *testing.T) {
+	s, err := NewSolver(crossbarOpts(t, 0, 0))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 9, Seed: seed})
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		want := referenceObjective(t, p)
+		res, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		if res.Status != lp.StatusOptimal {
+			t.Fatalf("seed %d: status = %v (iter %d, gap %v)", seed, res.Status, res.Iterations, res.DualityGap)
+		}
+		if rel := math.Abs(res.Objective-want) / (1 + math.Abs(want)); rel > 0.05 {
+			t.Errorf("seed %d: objective %v, want %v (rel %v)", seed, res.Objective, want, rel)
+		}
+	}
+}
+
+func TestSolverCrossbarWithVariation(t *testing.T) {
+	// Paper Fig. 5(a): inaccuracy stays bounded (≈10%) even at 20%
+	// variation. Average over seeds: individual instances fluctuate.
+	for _, varPct := range []float64{0.05, 0.10, 0.20} {
+		var relSum float64
+		const trials = 4
+		for seed := int64(0); seed < trials; seed++ {
+			s, err := NewSolver(crossbarOpts(t, varPct, 42+seed))
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: seed})
+			if err != nil {
+				t.Fatalf("GenerateFeasible: %v", err)
+			}
+			want := referenceObjective(t, p)
+			res, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("var %v: Solve: %v", varPct, err)
+			}
+			if res.Status != lp.StatusOptimal {
+				t.Errorf("var %v seed %d: status = %v", varPct, seed, res.Status)
+				continue
+			}
+			relSum += math.Abs(res.Objective-want) / (1 + math.Abs(want))
+		}
+		if mean := relSum / trials; mean > 0.12 {
+			t.Errorf("var %v: mean relative error %v, want ≤ 0.12", varPct, mean)
+		}
+	}
+}
+
+func TestSolverDetectsInfeasible(t *testing.T) {
+	s, err := NewSolver(idealOpts())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := lp.GenerateInfeasible(lp.GenConfig{Constraints: 9, Seed: seed})
+		if err != nil {
+			t.Fatalf("GenerateInfeasible: %v", err)
+		}
+		res, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		if res.Status != lp.StatusInfeasible && res.Status != lp.StatusNumericalFailure {
+			t.Errorf("seed %d: status = %v, want infeasible (or numerical-failure)", seed, res.Status)
+		}
+	}
+}
+
+func TestSolverCountsOperations(t *testing.T) {
+	s, err := NewSolver(idealOpts())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 9, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	res, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Counters.CellWrites == 0 || res.Counters.MatVecOps == 0 || res.Counters.SolveOps == 0 {
+		t.Errorf("counters not populated: %+v", res.Counters)
+	}
+	if res.Counters.MatVecOps < int64(res.Iterations) {
+		t.Errorf("MatVecOps %d < iterations %d", res.Counters.MatVecOps, res.Iterations)
+	}
+	if res.MatrixSize == 0 {
+		t.Error("MatrixSize not reported")
+	}
+}
+
+func TestSolverInvalidProblem(t *testing.T) {
+	s, err := NewSolver(idealOpts())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	if _, err := s.Solve(&lp.Problem{}); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("Solve(invalid) = %v, want ErrInvalid", err)
+	}
+}

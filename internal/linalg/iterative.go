@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver fails to reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// IterativeOptions configures the Jacobi and Gauss–Seidel solvers.
+type IterativeOptions struct {
+	// MaxIterations bounds the sweep count. Zero means 10_000.
+	MaxIterations int
+	// Tolerance is the ∞-norm of the update at which iteration stops.
+	// Zero means 1e-10.
+	Tolerance float64
+	// InitialGuess, when non-nil, seeds the iteration; otherwise zero.
+	InitialGuess Vector
+}
+
+func (o IterativeOptions) withDefaults() IterativeOptions {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10_000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+	return o
+}
+
+// IterativeResult reports the outcome of an iterative solve.
+type IterativeResult struct {
+	X          Vector
+	Iterations int
+	Residual   float64 // final update ∞-norm
+}
+
+// GaussSeidel solves a·x = b with the Gauss–Seidel method. The matrix must
+// be square with a non-zero diagonal; convergence is guaranteed only for
+// diagonally-dominant or SPD systems, otherwise ErrNoConvergence may be
+// returned. This is the software O(N²)-per-iteration baseline mentioned in
+// §3.5 of the paper.
+func GaussSeidel(a *Matrix, b Vector, opts IterativeOptions) (*IterativeResult, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs %d for %d unknowns", ErrDimensionMismatch, len(b), n)
+	}
+	o := opts.withDefaults()
+	x := NewVector(n)
+	if o.InitialGuess != nil {
+		if len(o.InitialGuess) != n {
+			return nil, fmt.Errorf("%w: guess %d for %d unknowns", ErrDimensionMismatch, len(o.InitialGuess), n)
+		}
+		copy(x, o.InitialGuess)
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
+		}
+	}
+	for it := 1; it <= o.MaxIterations; it++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			row := a.RawRow(i)
+			s := b[i]
+			for j, aij := range row {
+				if j != i {
+					s -= aij * x[j]
+				}
+			}
+			nx := s / row[i]
+			if d := math.Abs(nx - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = nx
+		}
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return nil, fmt.Errorf("%w: diverged at sweep %d", ErrNoConvergence, it)
+		}
+		if delta <= o.Tolerance {
+			return &IterativeResult{X: x, Iterations: it, Residual: delta}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: after %d sweeps", ErrNoConvergence, o.MaxIterations)
+}
+
+// Jacobi solves a·x = b with the Jacobi method. Same requirements and
+// caveats as GaussSeidel; it converges more slowly but each sweep is
+// embarrassingly parallel, which matches analog-hardware intuition.
+func Jacobi(a *Matrix, b Vector, opts IterativeOptions) (*IterativeResult, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs %d for %d unknowns", ErrDimensionMismatch, len(b), n)
+	}
+	o := opts.withDefaults()
+	x := NewVector(n)
+	if o.InitialGuess != nil {
+		if len(o.InitialGuess) != n {
+			return nil, fmt.Errorf("%w: guess %d for %d unknowns", ErrDimensionMismatch, len(o.InitialGuess), n)
+		}
+		copy(x, o.InitialGuess)
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
+		}
+	}
+	next := NewVector(n)
+	for it := 1; it <= o.MaxIterations; it++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			row := a.RawRow(i)
+			s := b[i]
+			for j, aij := range row {
+				if j != i {
+					s -= aij * x[j]
+				}
+			}
+			next[i] = s / row[i]
+			if d := math.Abs(next[i] - x[i]); d > delta {
+				delta = d
+			}
+		}
+		x, next = next, x
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return nil, fmt.Errorf("%w: diverged at sweep %d", ErrNoConvergence, it)
+		}
+		if delta <= o.Tolerance {
+			return &IterativeResult{X: x, Iterations: it, Residual: delta}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: after %d sweeps", ErrNoConvergence, o.MaxIterations)
+}
+
+// Residual returns b - a·x, useful for verifying solver output.
+func Residual(a *Matrix, x, b Vector) (Vector, error) {
+	ax, err := a.MatVec(x)
+	if err != nil {
+		return nil, err
+	}
+	return b.Sub(ax)
+}

@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// diagonallyDominant builds a random strictly diagonally dominant matrix, for
+// which both Jacobi and Gauss–Seidel are guaranteed to converge.
+func diagonallyDominant(r *rand.Rand, n int) *Matrix {
+	m := randomMatrix(r, n, n)
+	for i := 0; i < n; i++ {
+		var rowAbs float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				rowAbs += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, rowAbs+1+r.Float64()*5)
+	}
+	return m
+}
+
+func TestGaussSeidelMatchesLU(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + trial*3
+		a := diagonallyDominant(r, n)
+		b := randomVec(r, n)
+		want, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("LU: %v", err)
+		}
+		res, err := GaussSeidel(a, b, IterativeOptions{})
+		if err != nil {
+			t.Fatalf("GaussSeidel: %v", err)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-7 {
+				t.Errorf("n=%d x[%d] = %v, want %v", n, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJacobiMatchesLU(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	a := diagonallyDominant(r, 8)
+	b := randomVec(r, 8)
+	want, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	res, err := Jacobi(a, b, IterativeOptions{})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-7 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	// Classic result: GS converges in fewer sweeps than Jacobi on
+	// diagonally dominant systems.
+	r := rand.New(rand.NewSource(23))
+	a := diagonallyDominant(r, 12)
+	b := randomVec(r, 12)
+	gs, err := GaussSeidel(a, b, IterativeOptions{})
+	if err != nil {
+		t.Fatalf("GaussSeidel: %v", err)
+	}
+	jac, err := Jacobi(a, b, IterativeOptions{})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if gs.Iterations > jac.Iterations {
+		t.Errorf("GS took %d sweeps, Jacobi %d; expected GS ≤ Jacobi", gs.Iterations, jac.Iterations)
+	}
+}
+
+func TestIterativeZeroDiagonal(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{0, 1}, {1, 0}})
+	if _, err := GaussSeidel(a, VectorOf(1, 1), IterativeOptions{}); !errors.Is(err, ErrSingular) {
+		t.Errorf("GS zero diag: got %v, want ErrSingular", err)
+	}
+	if _, err := Jacobi(a, VectorOf(1, 1), IterativeOptions{}); !errors.Is(err, ErrSingular) {
+		t.Errorf("Jacobi zero diag: got %v, want ErrSingular", err)
+	}
+}
+
+func TestIterativeNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := GaussSeidel(a, VectorOf(1, 1), IterativeOptions{}); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("got %v, want ErrNotSquare", err)
+	}
+	if _, err := Jacobi(a, VectorOf(1, 1), IterativeOptions{}); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("got %v, want ErrNotSquare", err)
+	}
+}
+
+func TestIterativeDivergenceDetected(t *testing.T) {
+	// Strongly non-dominant system makes Jacobi diverge; the solver must
+	// report ErrNoConvergence instead of returning NaNs.
+	a := mustMatrix(t, [][]float64{
+		{1, 10},
+		{10, 1},
+	})
+	_, err := Jacobi(a, VectorOf(1, 1), IterativeOptions{MaxIterations: 500})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("got %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestIterativeBudgetExhausted(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := diagonallyDominant(r, 10)
+	b := randomVec(r, 10)
+	_, err := GaussSeidel(a, b, IterativeOptions{MaxIterations: 1, Tolerance: 1e-15})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("got %v, want ErrNoConvergence after 1 sweep", err)
+	}
+}
+
+func TestIterativeInitialGuess(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a := diagonallyDominant(r, 8)
+	b := randomVec(r, 8)
+	exact, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	// Starting at the exact solution should converge in one sweep.
+	res, err := GaussSeidel(a, b, IterativeOptions{InitialGuess: exact})
+	if err != nil {
+		t.Fatalf("GaussSeidel: %v", err)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("warm start took %d sweeps, want ≤2", res.Iterations)
+	}
+	// Wrong-size guess is rejected.
+	if _, err := GaussSeidel(a, b, IterativeOptions{InitialGuess: VectorOf(1)}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("bad guess: got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestResidualHelper(t *testing.T) {
+	a := Identity(3)
+	res, err := Residual(a, VectorOf(1, 2, 3), VectorOf(1, 2, 4))
+	if err != nil {
+		t.Fatalf("Residual: %v", err)
+	}
+	if res.NormInf() != 1 {
+		t.Errorf("residual = %v, want ∞-norm 1", res)
+	}
+}

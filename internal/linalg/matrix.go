@@ -1,0 +1,335 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+// It panics if rows or cols is negative; a zero dimension is allowed.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices. All rows must have equal
+// length. The data is copied.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with d on the diagonal.
+func Diagonal(d Vector) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, x := range d {
+		m.Set(i, i, x)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.data[i*m.cols+j] = x }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) Vector {
+	out := make(Vector, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// RawRow returns row i as a live sub-slice (no copy). Mutating the returned
+// slice mutates the matrix.
+func (m *Matrix) RawRow(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MatVec returns m·v.
+func (m *Matrix) MatVec(v Vector) (Vector, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: matvec %dx%d · %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MatVecTranspose returns mᵀ·v without materializing the transpose.
+func (m *Matrix) MatVecTranspose(v Vector) (Vector, error) {
+	if m.rows != len(v) {
+		return nil, fmt.Errorf("%w: matvecT %dx%d ᵀ· %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
+	}
+	out := make(Vector, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j, a := range row {
+			out[j] += a * vi
+		}
+	}
+	return out, nil
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d · %dx%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d + %dx%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d - %dx%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns alpha*m.
+func (m *Matrix) Scale(alpha float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= alpha
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product m ∘ b.
+func (m *Matrix) Hadamard(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: hadamard %dx%d vs %dx%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= b.data[i]
+	}
+	return out, nil
+}
+
+// SetSubmatrix copies src into m with its top-left corner at (row, col).
+func (m *Matrix) SetSubmatrix(row, col int, src *Matrix) error {
+	if row < 0 || col < 0 || row+src.rows > m.rows || col+src.cols > m.cols {
+		return fmt.Errorf("%w: submatrix %dx%d at (%d,%d) into %dx%d",
+			ErrDimensionMismatch, src.rows, src.cols, row, col, m.rows, m.cols)
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(row+i)*m.cols+col:(row+i)*m.cols+col+src.cols],
+			src.data[i*src.cols:(i+1)*src.cols])
+	}
+	return nil
+}
+
+// Submatrix returns a copy of the block of shape rows×cols whose top-left
+// corner is at (row, col).
+func (m *Matrix) Submatrix(row, col, rows, cols int) (*Matrix, error) {
+	if row < 0 || col < 0 || rows < 0 || cols < 0 || row+rows > m.rows || col+cols > m.cols {
+		return nil, fmt.Errorf("%w: take %dx%d at (%d,%d) from %dx%d",
+			ErrDimensionMismatch, rows, cols, row, col, m.rows, m.cols)
+	}
+	out := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		copy(out.data[i*cols:(i+1)*cols], m.data[(row+i)*m.cols+col:(row+i)*m.cols+col+cols])
+	}
+	return out, nil
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, x := range m.data {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// MinElement returns the smallest element, or +Inf for an empty matrix.
+func (m *Matrix) MinElement() float64 {
+	mn := math.Inf(1)
+	for _, x := range m.data {
+		if x < mn {
+			mn = x
+		}
+	}
+	return mn
+}
+
+// AllNonNegative reports whether every element is ≥ 0.
+func (m *Matrix) AllNonNegative() bool {
+	for _, x := range m.data {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element is finite.
+func (m *Matrix) AllFinite() bool {
+	for _, x := range m.data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowSum returns the sum of row i.
+func (m *Matrix) RowSum(i int) float64 {
+	var s float64
+	for _, x := range m.data[i*m.cols : (i+1)*m.cols] {
+		s += x
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute row sum (the induced ∞-norm).
+func (m *Matrix) NormInf() float64 {
+	var mx float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, x := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(x)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and b have the same shape and all elements within
+// tol of each other.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are abbreviated.
+func (m *Matrix) String() string {
+	const maxShow = 8
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < maxShow; i++ {
+		s += "\n  "
+		for j := 0; j < m.cols && j < maxShow; j++ {
+			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+		}
+		if m.cols > maxShow {
+			s += "..."
+		}
+	}
+	if m.rows > maxShow {
+		s += "\n  ..."
+	}
+	return s + "\n]"
+}

@@ -1,0 +1,303 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := MatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("MatrixFromRows: %v", err)
+	}
+	return m
+}
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.NormFloat64()*5)
+		}
+	}
+	return m
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	_, err := MatrixFromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged rows: got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v, want 7", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestIdentityMatVec(t *testing.T) {
+	id := Identity(4)
+	v := VectorOf(1, 2, 3, 4)
+	got, err := id.MatVec(v)
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("I·v[%d] = %v, want %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	d := Diagonal(VectorOf(2, 3))
+	if d.At(0, 0) != 2 || d.At(1, 1) != 3 || d.At(0, 1) != 0 || d.At(1, 0) != 0 {
+		t.Errorf("Diagonal wrong: %v", d)
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got, err := m.MatVec(VectorOf(1, -1))
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	want := VectorOf(-1, -1, -1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatVecDimensionError(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.MatVec(VectorOf(1, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestMatVecTransposeMatchesExplicit(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomMatrix(r, 5, 3)
+	v := randomVec(r, 5)
+	got, err := m.MatVecTranspose(v)
+	if err != nil {
+		t.Fatalf("MatVecTranspose: %v", err)
+	}
+	want, err := m.Transpose().MatVec(v)
+	if err != nil {
+		t.Fatalf("explicit: %v", err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := mustMatrix(t, [][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 0) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := randomMatrix(r, 4, 7)
+	if !m.Transpose().Transpose().Equal(m, 0) {
+		t.Error("(mᵀ)ᵀ != m")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !sum.Equal(mustMatrix(t, [][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Errorf("Add wrong: %v", sum)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if !diff.Equal(a, 0) {
+		t.Errorf("Sub wrong: %v", diff)
+	}
+	if !a.Scale(2).Equal(mustMatrix(t, [][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{2, 2}, {2, 2}})
+	got, err := a.Hadamard(b)
+	if err != nil {
+		t.Fatalf("Hadamard: %v", err)
+	}
+	if !got.Equal(a.Scale(2), 0) {
+		t.Errorf("Hadamard wrong: %v", got)
+	}
+}
+
+func TestSubmatrixRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := randomMatrix(r, 6, 6)
+	block := randomMatrix(r, 2, 3)
+	if err := m.SetSubmatrix(2, 1, block); err != nil {
+		t.Fatalf("SetSubmatrix: %v", err)
+	}
+	got, err := m.Submatrix(2, 1, 2, 3)
+	if err != nil {
+		t.Fatalf("Submatrix: %v", err)
+	}
+	if !got.Equal(block, 0) {
+		t.Errorf("round trip: got %v, want %v", got, block)
+	}
+}
+
+func TestSubmatrixBounds(t *testing.T) {
+	m := NewMatrix(3, 3)
+	if err := m.SetSubmatrix(2, 2, NewMatrix(2, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("SetSubmatrix overflow: got %v", err)
+	}
+	if _, err := m.Submatrix(0, 0, 4, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Submatrix overflow: got %v", err)
+	}
+	if _, err := m.Submatrix(-1, 0, 1, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Submatrix negative: got %v", err)
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("Row returned live slice, want copy")
+	}
+	c := m.Col(1)
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Error("Col returned live slice, want copy")
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 4 {
+		t.Errorf("Col(1) = %v", got)
+	}
+}
+
+func TestPredicatesAndNorms(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, -2}, {3, 4}})
+	if m.AllNonNegative() {
+		t.Error("AllNonNegative with -2 = true")
+	}
+	if !mustMatrix(t, [][]float64{{0, 1}}).AllNonNegative() {
+		t.Error("AllNonNegative(0,1) = false")
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+	if got := m.MinElement(); got != -2 {
+		t.Errorf("MinElement = %v, want -2", got)
+	}
+	if got := m.NormInf(); got != 7 {
+		t.Errorf("NormInf = %v, want 7", got)
+	}
+	if got := m.RowSum(0); got != -1 {
+		t.Errorf("RowSum(0) = %v, want -1", got)
+	}
+	if !m.AllFinite() {
+		t.Error("AllFinite = false")
+	}
+	m.Set(0, 0, math.NaN())
+	if m.AllFinite() {
+		t.Error("AllFinite with NaN = true")
+	}
+}
+
+func TestPropertyMulAssociativeWithVector(t *testing.T) {
+	// (A·B)·v == A·(B·v)
+	f := func(seed int64, s1, s2, s3 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, n := int(s1%6)+1, int(s2%6)+1, int(s3%6)+1
+		a := randomMatrix(r, p, q)
+		b := randomMatrix(r, q, n)
+		v := randomVec(r, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		left, err := ab.MatVec(v)
+		if err != nil {
+			return false
+		}
+		bv, err := b.MatVec(v)
+		if err != nil {
+			return false
+		}
+		right, err := a.MatVec(bv)
+		if err != nil {
+			return false
+		}
+		for i := range left {
+			if math.Abs(left[i]-right[i]) > 1e-8*(1+math.Abs(left[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransposeDistributesOverMul(t *testing.T) {
+	// (A·B)ᵀ == Bᵀ·Aᵀ
+	f := func(seed int64, s1, s2, s3 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, n := int(s1%5)+1, int(s2%5)+1, int(s3%5)+1
+		a := randomMatrix(r, p, q)
+		b := randomMatrix(r, q, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return ab.Transpose().Equal(btat, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

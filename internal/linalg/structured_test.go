@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveStructuredMatchesDenseOnRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + trial*2
+		a := randomMatrix(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+25)
+		}
+		b := randomVec(r, n)
+		want, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("SolveDense: %v", err)
+		}
+		got, err := SolveStructured(a, b)
+		if err != nil {
+			t.Fatalf("SolveStructured: %v", err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Errorf("n=%d x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// buildPDIPLikeMatrix mimics the sparsity of the paper's extended matrix
+// (Eq. 14a): a dense m×n block plus many two-non-zero coupling rows.
+func buildPDIPLikeMatrix(r *rand.Rand, m, n int) (*Matrix, Vector) {
+	// Layout: cols [x(n) | y(m) | w(m) | z(n)], rows:
+	//   [A  0  I  0]   m rows
+	//   [0  Aᵀ 0 -I]   n rows
+	//   [Z  0  0  X]   n rows (two non-zeros each)
+	//   [0  W  Y  0]   m rows (two non-zeros each)
+	size := 2 * (n + m)
+	a := NewMatrix(size, size)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+		a.Set(i, n+m+i, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(m+i, n+j, r.NormFloat64())
+		}
+		a.Set(m+i, n+2*m+i, -1)
+	}
+	for i := 0; i < n; i++ {
+		a.Set(m+n+i, i, 0.5+r.Float64())
+		a.Set(m+n+i, n+2*m+i, 0.5+r.Float64())
+	}
+	for i := 0; i < m; i++ {
+		a.Set(m+2*n+i, n+i, 0.5+r.Float64())
+		a.Set(m+2*n+i, n+m+i, 0.5+r.Float64())
+	}
+	b := randomVec(r, size)
+	return a, b
+}
+
+func TestSolveStructuredPDIPShape(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a, b := buildPDIPLikeMatrix(r, 12, 4)
+	want, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatalf("SolveDense: %v", err)
+	}
+	got, err := SolveStructured(a, b)
+	if err != nil {
+		t.Fatalf("SolveStructured: %v", err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveStructuredDiagonal(t *testing.T) {
+	// Pure diagonal systems are fully handled by the presolve (no core).
+	d := Diagonal(VectorOf(2, 4, 8))
+	got, err := SolveStructured(d, VectorOf(2, 4, 8))
+	if err != nil {
+		t.Fatalf("SolveStructured: %v", err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-1) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 1", i, got[i])
+		}
+	}
+}
+
+func TestSolveStructuredSingular(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveStructured(a, VectorOf(1, 1)); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular: %v, want ErrSingular", err)
+	}
+	zero := NewMatrix(3, 3)
+	if _, err := SolveStructured(zero, VectorOf(1, 1, 1)); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero matrix: %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveStructuredValidation(t *testing.T) {
+	if _, err := SolveStructured(NewMatrix(2, 3), VectorOf(1, 1)); !errors.Is(err, ErrNotSquare) {
+		t.Errorf("non-square: %v", err)
+	}
+	if _, err := SolveStructured(Identity(3), VectorOf(1, 1)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("bad rhs: %v", err)
+	}
+}
+
+func TestSolveStructuredIdentity(t *testing.T) {
+	got, err := SolveStructured(Identity(5), VectorOf(1, 2, 3, 4, 5))
+	if err != nil {
+		t.Fatalf("SolveStructured: %v", err)
+	}
+	for i := range got {
+		if got[i] != float64(i+1) {
+			t.Errorf("x[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestSolveStructuredPermutation(t *testing.T) {
+	// A permutation matrix is all one-non-zero rows.
+	p := NewMatrix(4, 4)
+	p.Set(0, 2, 1)
+	p.Set(1, 0, 1)
+	p.Set(2, 3, 1)
+	p.Set(3, 1, 1)
+	b := VectorOf(10, 20, 30, 40)
+	got, err := SolveStructured(p, b)
+	if err != nil {
+		t.Fatalf("SolveStructured: %v", err)
+	}
+	want := VectorOf(20, 40, 10, 30)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPropertyStructuredEqualsDense(t *testing.T) {
+	f := func(seed int64, sz uint8, sparsity uint8) bool {
+		n := int(sz%10) + 2
+		r := rand.New(rand.NewSource(seed))
+		a := NewMatrix(n, n)
+		keepProb := 0.2 + float64(sparsity%80)/100
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Float64() < keepProb {
+					a.Set(i, j, r.NormFloat64())
+				}
+			}
+			a.Set(i, i, a.At(i, i)+30)
+		}
+		b := randomVec(r, n)
+		want, err1 := SolveDense(a, b)
+		got, err2 := SolveStructured(a, b)
+		if err1 != nil || err2 != nil {
+			return errors.Is(err2, ErrSingular) == errors.Is(err1, ErrSingular)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveStructuredPDIPShape(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, rhs := buildPDIPLikeMatrix(r, 60, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveStructured(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDensePDIPShape(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, rhs := buildPDIPLikeMatrix(r, 60, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveDense(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package linalg provides the dense linear-algebra substrate used by every
+// other package in memlp: vectors, row-major dense matrices, direct (LU) and
+// iterative (Jacobi, Gauss–Seidel) solvers, determinants, and norms.
+//
+// The package depends only on the standard library. It is written for the
+// moderate problem sizes of the paper's evaluation (systems up to a few
+// thousand unknowns), favouring clarity and numerical robustness (partial
+// pivoting, explicit singularity reporting) over cache-blocked performance.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operand shapes are incompatible.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// VectorOf returns a vector with the given elements (copied).
+func VectorOf(elems ...float64) Vector {
+	v := make(Vector, len(elems))
+	copy(v, elems)
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Len returns the number of elements.
+func (v Vector) Len() int { return len(v) }
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: add %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: sub %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// AxpyInPlace computes v += alpha*w in place.
+func (v Vector) AxpyInPlace(alpha float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: axpy %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return nil
+}
+
+// Scale returns alpha*v.
+func (v Vector) Scale(alpha float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = alpha * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product vᵀw.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: dot %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm, guarding against overflow.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element, or 0 for an empty vector.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute elements.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Min returns the smallest element. It returns +Inf for an empty vector.
+func (v Vector) Min() float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It returns -Inf for an empty vector.
+func (v Vector) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fill sets every element to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// AllPositive reports whether every element is strictly positive.
+func (v Vector) AllPositive() bool {
+	for _, x := range v {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element is finite (no NaN or Inf).
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// HadamardProduct returns the element-wise product v ∘ w.
+func (v Vector) HadamardProduct(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: hadamard %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * w[i]
+	}
+	return out, nil
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...Vector) Vector {
+	var n int
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vector, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText feeds arbitrary input to the textual parser: it must never
+// panic, and any successfully parsed problem must validate and round-trip.
+func FuzzReadText(f *testing.F) {
+	f.Add("maximize 1 2\nsubject 1 1 <= 4\n")
+	f.Add("name x\nmaximize 1\nsubject -1 <= -2\n")
+	f.Add("# comment\nmaximize 0\nsubject 0 <= 0\n")
+	f.Add("maximize 1e308\nsubject 1 <= 1e-308\n")
+	f.Add("subject 1 <= 2")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed problem fails validation: %v\ninput: %q", err, src)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		q, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", err, buf.String())
+		}
+		if q.NumVariables() != p.NumVariables() || q.NumConstraints() != p.NumConstraints() {
+			t.Fatalf("round trip changed dimensions")
+		}
+	})
+}
+
+// FuzzReadMPS feeds arbitrary input to the MPS parser: never panic; any
+// accepted problem must validate.
+func FuzzReadMPS(f *testing.F) {
+	f.Add("NAME T\nROWS\n N C\n L R\nCOLUMNS\n X C -1 R 1\nRHS\n B R 4\nENDATA\n")
+	f.Add("ROWS\n N C\n G R\nCOLUMNS\n X R 1\nRHS\nENDATA\n")
+	f.Add("* comment only\n")
+	f.Add("NAME\nROWS\nCOLUMNS\nRHS\nENDATA\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadMPS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed MPS problem fails validation: %v\ninput: %q", err, src)
+		}
+	})
+}

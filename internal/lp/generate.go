@@ -1,0 +1,166 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+// GenConfig parameterizes random instance generation, following the paper's
+// evaluation setup (§4.2): m constraints, n = m/3 variables by default, 100
+// feasible and 100 infeasible instances per size.
+type GenConfig struct {
+	// Constraints is m. Must be ≥ 2.
+	Constraints int
+	// Variables is n; zero means max(1, Constraints/3), the paper's ratio.
+	Variables int
+	// Seed drives the generator; equal seeds give equal instances.
+	Seed int64
+	// NegativeFraction is the fraction of A's entries drawn negative
+	// (the solver's negative-coefficient machinery needs exercise).
+	// Zero means 0.3.
+	NegativeFraction float64
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Variables == 0 {
+		g.Variables = g.Constraints / 3
+		if g.Variables < 1 {
+			g.Variables = 1
+		}
+	}
+	if g.NegativeFraction == 0 {
+		g.NegativeFraction = 0.3
+	}
+	return g
+}
+
+func (g GenConfig) validate() error {
+	if g.Constraints < 2 {
+		return fmt.Errorf("%w: need ≥ 2 constraints, got %d", ErrInvalid, g.Constraints)
+	}
+	if g.Variables < 1 {
+		return fmt.Errorf("%w: need ≥ 1 variable, got %d", ErrInvalid, g.Variables)
+	}
+	if g.NegativeFraction < 0 || g.NegativeFraction > 1 {
+		return fmt.Errorf("%w: negative fraction %v", ErrInvalid, g.NegativeFraction)
+	}
+	return nil
+}
+
+// GenerateFeasible returns a random LP that is feasible and bounded by
+// construction: a strictly interior primal point x₀ > 0 and a strictly
+// interior dual point y₀ > 0 are drawn first, then
+//
+//	b = A·x₀ + slack  (slack > 0)   makes x₀ strictly primal-feasible,
+//	c = Aᵀ·y₀ − margin (margin > 0) makes y₀ strictly dual-feasible,
+//
+// which guarantees a finite optimum by weak duality.
+func GenerateFeasible(cfg GenConfig) (*Problem, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m, n := cfg.Constraints, cfg.Variables
+
+	a := randomMatrix(r, m, n, cfg.NegativeFraction)
+
+	x0 := linalg.NewVector(n)
+	for i := range x0 {
+		x0[i] = 0.5 + r.Float64()*4.5 // strictly interior
+	}
+	ax0, err := a.MatVec(x0)
+	if err != nil {
+		return nil, err
+	}
+	b := linalg.NewVector(m)
+	for i := range b {
+		b[i] = ax0[i] + 0.5 + r.Float64()*4.5 // strictly positive slack
+	}
+
+	y0 := linalg.NewVector(m)
+	for i := range y0 {
+		y0[i] = 0.5 + r.Float64()*1.5
+	}
+	aty0, err := a.MatVecTranspose(y0)
+	if err != nil {
+		return nil, err
+	}
+	c := linalg.NewVector(n)
+	for j := range c {
+		c[j] = aty0[j] - (0.5 + r.Float64()*1.5) // strictly positive margin
+	}
+
+	return New(fmt.Sprintf("feasible-m%d-n%d-s%d", m, n, cfg.Seed), c, a, b)
+}
+
+// GenerateInfeasible returns a random LP whose constraints are contradictory
+// by construction: two rows encode aᵀx ≤ β and −aᵀx ≤ −β−γ with γ > 0, which
+// together require aᵀx ≥ β+γ and aᵀx ≤ β simultaneously. A Farkas
+// certificate (y with Aᵀy ≥ 0, bᵀy < 0) therefore exists: the indicator of
+// the two rows. The remaining rows are random and generous, so infeasibility
+// hides in the pair rather than in an obviously empty region.
+func GenerateInfeasible(cfg GenConfig) (*Problem, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m, n := cfg.Constraints, cfg.Variables
+
+	a := randomMatrix(r, m, n, cfg.NegativeFraction)
+	b := linalg.NewVector(m)
+
+	// Generous random constraints around a nominal interior point, so the
+	// contradiction pair is the only source of infeasibility.
+	x0 := linalg.NewVector(n)
+	for i := range x0 {
+		x0[i] = 0.5 + r.Float64()*4.5
+	}
+	ax0, err := a.MatVec(x0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range b {
+		b[i] = ax0[i] + 0.5 + r.Float64()*4.5
+	}
+
+	// Overwrite two random distinct rows with the contradictory pair.
+	i1 := r.Intn(m)
+	i2 := (i1 + 1 + r.Intn(m-1)) % m
+	row := linalg.NewVector(n)
+	for j := range row {
+		row[j] = r.Float64()*2 - 0.5 // mixed-sign direction
+	}
+	beta := r.Float64() * 5
+	gamma := 1 + r.Float64()*4
+	for j := 0; j < n; j++ {
+		a.Set(i1, j, row[j])
+		a.Set(i2, j, -row[j])
+	}
+	b[i1] = beta
+	b[i2] = -beta - gamma
+
+	c := linalg.NewVector(n)
+	for j := range c {
+		c[j] = r.Float64()*2 - 1
+	}
+
+	return New(fmt.Sprintf("infeasible-m%d-n%d-s%d", m, n, cfg.Seed), c, a, b)
+}
+
+func randomMatrix(r *rand.Rand, m, n int, negFrac float64) *linalg.Matrix {
+	a := linalg.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			v := 0.1 + r.Float64()*1.9
+			if r.Float64() < negFrac {
+				v = -v
+			}
+			a.Set(i, j, v)
+		}
+	}
+	return a
+}

@@ -1,0 +1,160 @@
+package lp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+// jsonProblem is the wire representation for JSON encoding.
+type jsonProblem struct {
+	Name string      `json:"name,omitempty"`
+	C    []float64   `json:"c"`
+	A    [][]float64 `json:"a"`
+	B    []float64   `json:"b"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, p.A.Rows())
+	for i := range rows {
+		rows[i] = p.A.Row(i)
+	}
+	return json.Marshal(jsonProblem{Name: p.Name, C: p.C, A: rows, B: p.B})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var jp jsonProblem
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("lp: decode: %w", err)
+	}
+	a, err := linalg.MatrixFromRows(jp.A)
+	if err != nil {
+		return fmt.Errorf("lp: decode matrix: %w", err)
+	}
+	tmp := Problem{Name: jp.Name, C: jp.C, A: a, B: jp.B}
+	if err := tmp.Validate(); err != nil {
+		return err
+	}
+	*p = tmp
+	return nil
+}
+
+// WriteText writes the problem in the compact textual format accepted by
+// ReadText:
+//
+//	# optional comments
+//	name <name>
+//	maximize 3 2
+//	subject 1 1 <= 4
+//	subject 1 3 <= 6
+//
+// Each "subject" line gives one row of A followed by "<=" and the bound.
+func (p *Problem) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if p.Name != "" {
+		fmt.Fprintf(bw, "name %s\n", p.Name)
+	}
+	fmt.Fprint(bw, "maximize")
+	for _, v := range p.C {
+		fmt.Fprintf(bw, " %g", v)
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < p.A.Rows(); i++ {
+		fmt.Fprint(bw, "subject")
+		for _, v := range p.A.RawRow(i) {
+			fmt.Fprintf(bw, " %g", v)
+		}
+		fmt.Fprintf(bw, " <= %g\n", p.B[i])
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the textual format written by WriteText.
+func ReadText(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		name string
+		c    linalg.Vector
+		rows [][]float64
+		b    linalg.Vector
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "name":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%w: line %d: name requires a value", ErrInvalid, lineNo)
+			}
+			name = strings.Join(fields[1:], " ")
+		case "maximize":
+			vec, err := parseFloats(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, lineNo, err)
+			}
+			c = vec
+		case "subject":
+			idx := -1
+			for i, f := range fields {
+				if f == "<=" {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || idx != len(fields)-2 {
+				return nil, fmt.Errorf("%w: line %d: want 'subject a1 ... an <= b'", ErrInvalid, lineNo)
+			}
+			row, err := parseFloats(fields[1:idx])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, lineNo, err)
+			}
+			bound, err := strconv.ParseFloat(fields[idx+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad bound %q", ErrInvalid, lineNo, fields[idx+1])
+			}
+			rows = append(rows, row)
+			b = append(b, bound)
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrInvalid, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: read: %w", err)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("%w: missing maximize line", ErrInvalid)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: no constraints", ErrInvalid)
+	}
+	a, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return New(name, c, a, b)
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := tinyLP(t)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q Problem
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.Name != p.Name {
+		t.Errorf("name = %q, want %q", q.Name, p.Name)
+	}
+	if !q.A.Equal(p.A, 0) {
+		t.Error("A corrupted through JSON")
+	}
+	for i := range p.C {
+		if q.C[i] != p.C[i] {
+			t.Errorf("c[%d] = %v, want %v", i, q.C[i], p.C[i])
+		}
+	}
+	for i := range p.B {
+		if q.B[i] != p.B[i] {
+			t.Errorf("b[%d] = %v, want %v", i, q.B[i], p.B[i])
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var q Problem
+	if err := json.Unmarshal([]byte(`{"c":[1],"a":[[1,2]],"b":[1]}`), &q); !errors.Is(err, ErrInvalid) {
+		t.Errorf("shape mismatch: %v, want ErrInvalid", err)
+	}
+	if err := json.Unmarshal([]byte(`{"c":[1],"a":[[1],[2,3]],"b":[1,2]}`), &q); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &q); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p := tinyLP(t)
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	q, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if q.Name != p.Name {
+		t.Errorf("name = %q, want %q", q.Name, p.Name)
+	}
+	if !q.A.Equal(p.A, 0) {
+		t.Error("A corrupted through text")
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	src := `
+# a comment
+name demo problem
+
+maximize 1 -2.5
+subject 1 0 <= 3
+subject 0 1 <= 2
+`
+	p, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if p.Name != "demo problem" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.NumVariables() != 2 || p.NumConstraints() != 2 {
+		t.Errorf("dims = (%d, %d)", p.NumVariables(), p.NumConstraints())
+	}
+	if p.C[1] != -2.5 {
+		t.Errorf("c[1] = %v, want -2.5", p.C[1])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"missing maximize", "subject 1 <= 2\n"},
+		{"no constraints", "maximize 1 2\n"},
+		{"unknown directive", "minimize 1\n"},
+		{"bad number", "maximize x y\nsubject 1 1 <= 2\n"},
+		{"missing <=", "maximize 1\nsubject 1 2\n"},
+		{"bad bound", "maximize 1\nsubject 1 <= z\n"},
+		{"name empty", "name\nmaximize 1\nsubject 1 <= 1\n"},
+		{"ragged rows", "maximize 1 2\nsubject 1 2 <= 3\nsubject 1 <= 3\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(tc.src)); !errors.Is(err, ErrInvalid) {
+				t.Errorf("ReadText = %v, want ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestTextRoundTripGenerated(t *testing.T) {
+	p, err := GenerateFeasible(GenConfig{Constraints: 9, Seed: 4})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	q, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !q.A.Equal(p.A, 1e-12) {
+		t.Error("A corrupted through text round trip")
+	}
+}

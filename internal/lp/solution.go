@@ -1,0 +1,119 @@
+package lp
+
+import "fmt"
+
+// Status classifies the outcome of an LP solve.
+type Status int
+
+const (
+	// StatusOptimal means the solver converged to an optimal solution.
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible means the primal constraints admit no solution
+	// (detected through dual unboundedness, §3.1).
+	StatusInfeasible
+	// StatusUnbounded means the primal objective is unbounded above
+	// (detected through primal variable blow-up).
+	StatusUnbounded
+	// StatusIterationLimit means the iteration budget was exhausted before
+	// convergence.
+	StatusIterationLimit
+	// StatusNumericalFailure means a linear system could not be solved
+	// (singular Newton system, analog saturation, …).
+	StatusNumericalFailure
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterationLimit:
+		return "iteration-limit"
+	case StatusNumericalFailure:
+		return "numerical-failure"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Tolerances holds the PDIP stopping and safety parameters shared by the
+// software baseline and the crossbar solvers (Algorithm 1 and 2 inputs:
+// εb, εc, εg, δ, r/θ).
+type Tolerances struct {
+	// PrimalFeasTol is εb: the largest acceptable ∞-norm of A·x + w − b.
+	PrimalFeasTol float64
+	// DualFeasTol is εc: the largest acceptable ∞-norm of Aᵀ·y − z − c.
+	DualFeasTol float64
+	// GapTol is εg: the largest acceptable duality gap zᵀx + yᵀw.
+	GapTol float64
+	// Delta is δ ∈ (0, 1), the centering parameter of Eq. 8.
+	Delta float64
+	// StepScale is r ∈ (0, 1), the step-length damping of Eq. 11.
+	StepScale float64
+	// BlowupLimit is the magnitude of any primal/dual variable beyond which
+	// the problem is declared infeasible/unbounded (§3.1).
+	BlowupLimit float64
+	// MaxIterations bounds the outer loop.
+	MaxIterations int
+}
+
+// DefaultTolerances returns the parameters used throughout the experiments.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		PrimalFeasTol: 1e-6,
+		DualFeasTol:   1e-6,
+		GapTol:        1e-6,
+		Delta:         0.1,
+		StepScale:     0.9,
+		BlowupLimit:   1e8,
+		MaxIterations: 200,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultTolerances.
+func (t Tolerances) WithDefaults() Tolerances {
+	d := DefaultTolerances()
+	if t.PrimalFeasTol == 0 {
+		t.PrimalFeasTol = d.PrimalFeasTol
+	}
+	if t.DualFeasTol == 0 {
+		t.DualFeasTol = d.DualFeasTol
+	}
+	if t.GapTol == 0 {
+		t.GapTol = d.GapTol
+	}
+	if t.Delta == 0 {
+		t.Delta = d.Delta
+	}
+	if t.StepScale == 0 {
+		t.StepScale = d.StepScale
+	}
+	if t.BlowupLimit == 0 {
+		t.BlowupLimit = d.BlowupLimit
+	}
+	if t.MaxIterations == 0 {
+		t.MaxIterations = d.MaxIterations
+	}
+	return t
+}
+
+// Validate rejects out-of-range parameters.
+func (t Tolerances) Validate() error {
+	switch {
+	case !(t.PrimalFeasTol > 0) || !(t.DualFeasTol > 0) || !(t.GapTol > 0):
+		return fmt.Errorf("%w: non-positive tolerance", ErrInvalid)
+	case !(t.Delta > 0 && t.Delta < 1):
+		return fmt.Errorf("%w: delta %v outside (0,1)", ErrInvalid, t.Delta)
+	case !(t.StepScale > 0 && t.StepScale < 1):
+		return fmt.Errorf("%w: step scale %v outside (0,1)", ErrInvalid, t.StepScale)
+	case !(t.BlowupLimit > 0):
+		return fmt.Errorf("%w: blow-up limit %v", ErrInvalid, t.BlowupLimit)
+	case t.MaxIterations < 1:
+		return fmt.Errorf("%w: max iterations %d", ErrInvalid, t.MaxIterations)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package memristor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newYak(t *testing.T, x0 float64) *YakopcicDevice {
+	t.Helper()
+	d, err := NewYakopcicDevice(DefaultYakopcicParams(), x0)
+	if err != nil {
+		t.Fatalf("NewYakopcicDevice: %v", err)
+	}
+	return d
+}
+
+func TestYakopcicDefaultsValid(t *testing.T) {
+	if err := DefaultYakopcicParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestYakopcicValidation(t *testing.T) {
+	base := DefaultYakopcicParams()
+	tests := []struct {
+		name   string
+		mutate func(*YakopcicParams)
+	}{
+		{"zero a1", func(p *YakopcicParams) { p.A1 = 0 }},
+		{"zero b", func(p *YakopcicParams) { p.B = 0 }},
+		{"zero vp", func(p *YakopcicParams) { p.Vp = 0 }},
+		{"zero ap", func(p *YakopcicParams) { p.Ap = 0 }},
+		{"bad xp", func(p *YakopcicParams) { p.Xp = 1.5 }},
+		{"bad eta", func(p *YakopcicParams) { p.Eta = 0.5 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+				t.Errorf("Validate = %v, want ErrInvalidParams", err)
+			}
+		})
+	}
+	if _, err := NewYakopcicDevice(base, 1.5); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("bad x0: %v", err)
+	}
+}
+
+func TestYakopcicCurrentNonlinear(t *testing.T) {
+	d := newYak(t, 0.5)
+	i1 := d.Current(0.5)
+	i2 := d.Current(1.0)
+	if i1 <= 0 || i2 <= 0 {
+		t.Fatalf("positive voltages gave currents %v, %v", i1, i2)
+	}
+	// sinh superlinearity: doubling V more than doubles I.
+	if i2 <= 2*i1 {
+		t.Errorf("I(1.0)=%v not superlinear vs I(0.5)=%v", i2, i1)
+	}
+	// Odd symmetry with equal amplitudes.
+	if math.Abs(d.Current(-0.5)+i1) > 1e-15 {
+		t.Errorf("I(-0.5) = %v, want %v", d.Current(-0.5), -i1)
+	}
+}
+
+func TestYakopcicCurrentScalesWithState(t *testing.T) {
+	lo := newYak(t, 0.1)
+	hi := newYak(t, 0.9)
+	if hi.Current(0.3) <= lo.Current(0.3) {
+		t.Error("higher state should conduct more")
+	}
+	if lo.Conductance() >= hi.Conductance() {
+		t.Error("conductance should grow with state")
+	}
+}
+
+func TestYakopcicSubThresholdNoMotion(t *testing.T) {
+	p := DefaultYakopcicParams()
+	d := newYak(t, 0.4)
+	d.Step(p.Vp*0.9, 1e-3)
+	d.Step(-p.Vn*0.9, 1e-3)
+	if d.State() != 0.4 {
+		t.Errorf("sub-threshold voltage moved state to %v", d.State())
+	}
+}
+
+func TestYakopcicStateMotionDirections(t *testing.T) {
+	d := newYak(t, 0.4)
+	d.Step(0.5, 1e-4)
+	if d.State() <= 0.4 {
+		t.Errorf("positive over-threshold voltage did not raise state: %v", d.State())
+	}
+	up := d.State()
+	d.Step(-0.5, 1e-4)
+	if d.State() >= up {
+		t.Errorf("negative over-threshold voltage did not lower state: %v", d.State())
+	}
+}
+
+func TestYakopcicStateBounded(t *testing.T) {
+	d := newYak(t, 0.5)
+	d.Step(1.5, 1) // a huge pulse
+	if d.State() < 0 || d.State() > 1 {
+		t.Fatalf("state escaped [0,1]: %v", d.State())
+	}
+	d.Step(-1.5, 1)
+	if d.State() < 0 || d.State() > 1 {
+		t.Fatalf("state escaped [0,1]: %v", d.State())
+	}
+}
+
+func TestYakopcicMotionFasterAtHigherVoltage(t *testing.T) {
+	a := newYak(t, 0.1)
+	b := newYak(t, 0.1)
+	a.Step(0.3, 1e-4)
+	b.Step(0.6, 1e-4)
+	if b.State() <= a.State() {
+		t.Errorf("higher voltage moved less: %v vs %v", b.State(), a.State())
+	}
+}
+
+func TestYakopcicWriteLatency(t *testing.T) {
+	p := DefaultYakopcicParams()
+	lat := p.WriteLatency(0.1, 0.2, 1.0)
+	if math.IsInf(lat, 0) || lat <= 0 {
+		t.Fatalf("write latency = %v", lat)
+	}
+	// Larger state moves take longer.
+	lat2 := p.WriteLatency(0.1, 0.25, 1.0)
+	if lat2 <= lat {
+		t.Errorf("larger move faster: %v vs %v", lat2, lat)
+	}
+	// Higher voltage is faster.
+	lat3 := p.WriteLatency(0.1, 0.2, 1.5)
+	if lat3 >= lat {
+		t.Errorf("higher voltage slower: %v vs %v", lat3, lat)
+	}
+	// Wrong direction is impossible.
+	if !math.IsInf(p.WriteLatency(0.2, 0.1, 1.0), 1) {
+		t.Error("downward move under positive voltage should be impossible")
+	}
+	// Sub-threshold writes never finish.
+	if !math.IsInf(p.WriteLatency(0.1, 0.2, 0.1), 1) {
+		t.Error("sub-threshold write should be impossible")
+	}
+}
+
+func TestYakopcicWriteLatencyConsistentWithTimingConstants(t *testing.T) {
+	// The calibrated WriteLatencyPerCell (≈235 ns) should be within a
+	// couple orders of magnitude of a representative Yakopcic write at
+	// programming voltage — a coarse cross-check tying the cost model to
+	// the device physics.
+	p := DefaultYakopcicParams()
+	lat := p.WriteLatency(0.3, 0.4, 1.8)
+	if math.IsInf(lat, 0) {
+		t.Fatal("representative write impossible")
+	}
+	ratio := lat / DefaultTiming().WriteLatencyPerCell.Seconds()
+	if ratio < 1e-3 || ratio > 1e3 {
+		t.Errorf("device write %.3g s vs calibrated %.3g s: ratio %g beyond sanity band",
+			lat, DefaultTiming().WriteLatencyPerCell.Seconds(), ratio)
+	}
+}

@@ -1,0 +1,364 @@
+package noc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/variation"
+)
+
+// smallTileConfig forces multiple tiles even for modest matrices.
+func smallTileConfig(topology Topology) Config {
+	return Config{
+		Topology: topology,
+		TileSize: 8,
+		MaxTiles: 64,
+		Crossbar: crossbar.Config{IOBits: 16, WriteBits: 16},
+	}
+}
+
+func mustFabric(t *testing.T, cfg Config) *TiledFabric {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func randomNonNeg(r *rand.Rand, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.Float64()*3)
+		}
+	}
+	for i := 0; i < rows && i < cols; i++ {
+		m.Set(i, i, m.At(i, i)+10)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad topology", func(c *Config) { c.Topology = Topology(9) }},
+		{"bad tile size", func(c *Config) { c.TileSize = -1 }},
+		{"bad max tiles", func(c *Config) { c.MaxTiles = -2 }},
+		{"negative hop latency", func(c *Config) { c.HopLatency = -1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallTileConfig(Mesh)
+			tc.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("New = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	f := mustFabric(t, Config{})
+	cfg := f.Config()
+	if cfg.Topology != Hierarchical || cfg.TileSize != 512 || cfg.MaxTiles != 256 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if f.Capacity() != 16*512 {
+		t.Errorf("Capacity = %d, want %d", f.Capacity(), 16*512)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if Hierarchical.String() != "hierarchical" || Mesh.String() != "mesh" {
+		t.Error("Topology.String wrong")
+	}
+	if Topology(7).String() == "" {
+		t.Error("unknown topology String empty")
+	}
+}
+
+func TestProgramTooLarge(t *testing.T) {
+	f := mustFabric(t, Config{TileSize: 4, MaxTiles: 4, Crossbar: crossbar.Config{IOBits: 16, WriteBits: 16}})
+	// 9x9 needs a 3x3 grid = 9 tiles > 4.
+	if err := f.Program(linalg.NewMatrix(9, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Program = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnprogrammedOps(t *testing.T) {
+	f := mustFabric(t, smallTileConfig(Mesh))
+	if _, err := f.MatVec(linalg.VectorOf(1)); !errors.Is(err, crossbar.ErrNotProgrammed) {
+		t.Errorf("MatVec: %v", err)
+	}
+	if _, err := f.Solve(linalg.VectorOf(1)); !errors.Is(err, crossbar.ErrNotProgrammed) {
+		t.Errorf("Solve: %v", err)
+	}
+	if err := f.UpdateRow(0, linalg.VectorOf(1)); !errors.Is(err, crossbar.ErrNotProgrammed) {
+		t.Errorf("UpdateRow: %v", err)
+	}
+	if err := f.UpdateCellInPlace(0, 0, 1); !errors.Is(err, crossbar.ErrNotProgrammed) {
+		t.Errorf("UpdateCellInPlace: %v", err)
+	}
+}
+
+func TestTiledMatVecMatchesIdeal(t *testing.T) {
+	for _, topo := range []Topology{Hierarchical, Mesh} {
+		t.Run(topo.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(4))
+			f := mustFabric(t, smallTileConfig(topo))
+			a := randomNonNeg(r, 20, 20) // 3x3 tile grid with ragged edges
+			if err := f.Program(a); err != nil {
+				t.Fatalf("Program: %v", err)
+			}
+			if f.Tiles() != 9 {
+				t.Errorf("Tiles = %d, want 9", f.Tiles())
+			}
+			v := linalg.NewVector(20)
+			for i := range v {
+				v[i] = r.Float64()*2 - 1
+			}
+			got, err := f.MatVec(v)
+			if err != nil {
+				t.Fatalf("MatVec: %v", err)
+			}
+			want, err := a.MatVec(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if rel := math.Abs(got[i]-want[i]) / (1 + math.Abs(want[i])); rel > 5e-3 {
+					t.Errorf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTiledSolveMatchesIdeal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := mustFabric(t, smallTileConfig(Hierarchical))
+	a := randomNonNeg(r, 20, 20)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	b := linalg.NewVector(20)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	got, err := f.Solve(b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want, err := linalg.SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if rel := math.Abs(got[i]-want[i]) / (1 + math.Abs(want[i])); rel > 5e-3 {
+			t.Errorf("Solve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f.Stats().ComposedSolves != 1 {
+		t.Errorf("ComposedSolves = %d, want 1", f.Stats().ComposedSolves)
+	}
+}
+
+func TestTiledUpdateRow(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := mustFabric(t, smallTileConfig(Mesh))
+	a := randomNonNeg(r, 12, 12)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	newRow := linalg.NewVector(12)
+	newRow[3] = 7
+	if err := f.UpdateRow(9, newRow); err != nil {
+		t.Fatalf("UpdateRow: %v", err)
+	}
+	v := linalg.NewVector(12)
+	v[3] = 1
+	got, err := f.MatVec(v)
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	if math.Abs(got[9]-7) > 0.1 {
+		t.Errorf("row update not visible: got[9] = %v, want 7", got[9])
+	}
+	if err := f.UpdateRow(99, newRow); !errors.Is(err, linalg.ErrDimensionMismatch) {
+		t.Errorf("bad row: %v", err)
+	}
+}
+
+func TestTiledUpdateCellInPlace(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := mustFabric(t, smallTileConfig(Mesh))
+	a := randomNonNeg(r, 12, 12)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if err := f.UpdateCellInPlace(10, 10, 2.5); err != nil {
+		t.Fatalf("UpdateCellInPlace: %v", err)
+	}
+	v := linalg.NewVector(12)
+	v[10] = 1
+	got, err := f.MatVec(v)
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	if math.Abs(got[10]-2.5) > 0.1 {
+		t.Errorf("cell update not visible: got[10] = %v, want 2.5", got[10])
+	}
+	if err := f.UpdateCellInPlace(-1, 0, 1); !errors.Is(err, linalg.ErrDimensionMismatch) {
+		t.Errorf("bad cell: %v", err)
+	}
+}
+
+func TestHopAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randomNonNeg(r, 16, 16)
+	v := linalg.NewVector(16)
+	v.Fill(1)
+
+	hier := mustFabric(t, smallTileConfig(Hierarchical))
+	if err := hier.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if _, err := hier.MatVec(v); err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	mesh := mustFabric(t, smallTileConfig(Mesh))
+	if err := mesh.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if _, err := mesh.MatVec(v); err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+
+	hs, ms := hier.Stats(), mesh.Stats()
+	if hs.Transfers == 0 || ms.Transfers == 0 {
+		t.Fatal("transfers not tracked")
+	}
+	if hs.ElementHops == 0 || ms.ElementHops == 0 {
+		t.Fatal("element-hops not tracked")
+	}
+	// 2x2 grid: quad-tree depth is 1+1 = 2 for every tile; mesh worst case
+	// is 1+1+1 = 3 hops to tile (1,1).
+	if hs.MaxHops != 2 {
+		t.Errorf("hierarchical MaxHops = %d, want 2", hs.MaxHops)
+	}
+	if ms.MaxHops != 3 {
+		t.Errorf("mesh MaxHops = %d, want 3", ms.MaxHops)
+	}
+}
+
+func TestCountersAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := mustFabric(t, smallTileConfig(Hierarchical))
+	a := randomNonNeg(r, 16, 16)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	c := f.Counters()
+	if c.CellWrites != 16*16 {
+		t.Errorf("CellWrites = %d, want 256", c.CellWrites)
+	}
+	v := linalg.NewVector(16)
+	if _, err := f.MatVec(v); err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	if got := f.Counters().MatVecOps; got != 4 {
+		t.Errorf("MatVecOps = %d, want 4 (one per tile)", got)
+	}
+}
+
+func TestTiledWithVariation(t *testing.T) {
+	vm, err := variation.NewPaperModel(0.10, 3)
+	if err != nil {
+		t.Fatalf("NewPaperModel: %v", err)
+	}
+	cfg := smallTileConfig(Hierarchical)
+	cfg.Crossbar = crossbar.Config{Variation: vm}
+	f := mustFabric(t, cfg)
+	r := rand.New(rand.NewSource(10))
+	a := randomNonNeg(r, 16, 16)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	v := linalg.NewVector(16)
+	v.Fill(1)
+	got, err := f.MatVec(v)
+	if err != nil {
+		t.Fatalf("MatVec: %v", err)
+	}
+	want, err := a.MatVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := got.Sub(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := diff.NormInf() / want.NormInf()
+	if rel == 0 {
+		t.Error("variation had no effect")
+	}
+	if rel > 0.2 {
+		t.Errorf("variation error %v unreasonably large", rel)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	f := mustFabric(t, smallTileConfig(Mesh))
+	a := linalg.NewMatrix(12, 8)
+	for i := 0; i < 8; i++ {
+		a.Set(i, i, 1)
+	}
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if _, err := f.Solve(linalg.NewVector(12)); !errors.Is(err, linalg.ErrNotSquare) {
+		t.Errorf("Solve: %v, want ErrNotSquare", err)
+	}
+}
+
+func TestTiledMatVecResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := mustFabric(t, smallTileConfig(Hierarchical))
+	a := randomNonNeg(r, 12, 12)
+	if err := f.Program(a); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	v := linalg.NewVector(12)
+	base := linalg.NewVector(12)
+	for i := range v {
+		v[i] = r.Float64()*2 - 1
+		base[i] = r.Float64() * 5
+	}
+	got, err := f.MatVecResidual(base, v, nil)
+	if err != nil {
+		t.Fatalf("MatVecResidual: %v", err)
+	}
+	want, err := a.MatVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		exact := base[i] - want[i]
+		if rel := math.Abs(got[i]-exact) / (1 + math.Abs(exact)); rel > 1e-2 {
+			t.Errorf("residual[%d] = %v, want %v", i, got[i], exact)
+		}
+	}
+	if _, err := f.MatVecResidual(linalg.VectorOf(1), v, nil); !errors.Is(err, linalg.ErrDimensionMismatch) {
+		t.Errorf("bad base: %v", err)
+	}
+	if _, err := f.MatVecResidual(base, v, linalg.VectorOf(1)); !errors.Is(err, linalg.ErrDimensionMismatch) {
+		t.Errorf("bad factor: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package pdip
+
+import (
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// solveNewtonFull assembles and solves the full Newton system of Eq. 12:
+//
+//	⎡ A   0   I   0 ⎤ ⎡Δx⎤   ⎡ b − A·x − w  ⎤
+//	⎢ 0   Aᵀ  0  −I ⎥ ⎢Δy⎥ = ⎢ c − Aᵀ·y + z ⎥
+//	⎢ Z   0   0   X ⎥ ⎢Δw⎥   ⎢ µ1 − XZe     ⎥
+//	⎣ 0   W   Y   0 ⎦ ⎣Δz⎦   ⎣ µ1 − YWe     ⎦
+//
+// with dense LU — the O(N³)-per-iteration software baseline of §3.5.
+func solveNewtonFull(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
+	n, m := p.NumVariables(), p.NumConstraints()
+	size := 2 * (n + m)
+	big := linalg.NewMatrix(size, size)
+
+	// Block row 1: A·Δx + I·Δw = ρ.
+	if err := big.SetSubmatrix(0, 0, p.A); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i := 0; i < m; i++ {
+		big.Set(i, n+m+i, 1)
+	}
+	// Block row 2: Aᵀ·Δy − I·Δz = σ.
+	if err := big.SetSubmatrix(m, n, p.A.Transpose()); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		big.Set(m+i, n+2*m+i, -1)
+	}
+	// Block row 3: Z·Δx + X·Δz = µ1 − XZe.
+	for i := 0; i < n; i++ {
+		big.Set(m+n+i, i, z[i])
+		big.Set(m+n+i, n+2*m+i, x[i])
+	}
+	// Block row 4: W·Δy + Y·Δw = µ1 − YWe.
+	for i := 0; i < m; i++ {
+		big.Set(m+2*n+i, n+i, w[i])
+		big.Set(m+2*n+i, n+m+i, y[i])
+	}
+
+	rhs := linalg.NewVector(size)
+	copy(rhs[0:m], rho)
+	copy(rhs[m:m+n], sigma)
+	for i := 0; i < n; i++ {
+		rhs[m+n+i] = mu - x[i]*z[i]
+	}
+	for i := 0; i < m; i++ {
+		rhs[m+2*n+i] = mu - y[i]*w[i]
+	}
+
+	sol, err := linalg.SolveDense(big, rhs)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	dx = sol[0:n].Clone()
+	dy = sol[n : n+m].Clone()
+	dw = sol[n+m : n+2*m].Clone()
+	dz = sol[n+2*m:].Clone()
+	return dx, dy, dw, dz, nil
+}
+
+// solveNewtonReduced eliminates Δz and Δw from Eq. 9:
+//
+//	Δz = X⁻¹(µ1 − XZe) − X⁻¹Z·Δx      (from 9c)
+//	Δw = Y⁻¹(µ1 − YWe) − Y⁻¹W·Δy      (from 9d)
+//
+// leaving the (n+m) reduced KKT system
+//
+//	⎡ X⁻¹Z    Aᵀ    ⎤ ⎡Δx⎤ = ⎡ σ + X⁻¹(µ1 − XZe) ⎤
+//	⎣  A     −Y⁻¹W  ⎦ ⎣Δy⎦   ⎣ ρ − Y⁻¹(µ1 − YWe) ⎦
+//
+// solved with dense LU on the smaller matrix.
+func solveNewtonReduced(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
+	n, m := p.NumVariables(), p.NumConstraints()
+	size := n + m
+	kkt := linalg.NewMatrix(size, size)
+
+	for i := 0; i < n; i++ {
+		kkt.Set(i, i, z[i]/x[i])
+	}
+	if err := kkt.SetSubmatrix(0, n, p.A.Transpose()); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if err := kkt.SetSubmatrix(n, 0, p.A); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for i := 0; i < m; i++ {
+		kkt.Set(n+i, n+i, -w[i]/y[i])
+	}
+
+	rhs := linalg.NewVector(size)
+	for i := 0; i < n; i++ {
+		rhs[i] = sigma[i] + (mu-x[i]*z[i])/x[i]
+	}
+	for i := 0; i < m; i++ {
+		rhs[n+i] = rho[i] - (mu-y[i]*w[i])/y[i]
+	}
+
+	sol, err := linalg.SolveDense(kkt, rhs)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	dx = sol[0:n].Clone()
+	dy = sol[n:].Clone()
+
+	dz = linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		dz[i] = (mu-x[i]*z[i])/x[i] - z[i]/x[i]*dx[i]
+	}
+	dw = linalg.NewVector(m)
+	for i := 0; i < m; i++ {
+		dw[i] = (mu-y[i]*w[i])/y[i] - w[i]/y[i]*dy[i]
+	}
+	return dx, dy, dw, dz, nil
+}

@@ -1,0 +1,266 @@
+// Package pdip implements the software primal–dual interior-point method of
+// §3.1 — the baseline the paper's crossbar solver is measured against.
+//
+// The primal/dual pair in slack form (Eq. 6):
+//
+//	max cᵀx  s.t. A·x + w = b,  x, w ≥ 0
+//	min bᵀy  s.t. Aᵀ·y − z = c, y, z ≥ 0
+//
+// Each iteration solves the Newton system (Eq. 9) for the step directions
+// (Δx, Δy, Δw, Δz), applies the damped step of Eq. 10/11, and recenters with
+// the µ rule of Eq. 8 until primal infeasibility, dual infeasibility, and the
+// duality gap all fall below their tolerances.
+//
+// Two Newton-system backends are provided:
+//
+//   - NewtonFull assembles the full 2(n+m) system of Eq. 12 and solves it by
+//     dense LU — the O(N³)-per-iteration baseline of §3.5.
+//   - NewtonReduced eliminates Δz and Δw to give an (n+m) reduced KKT system
+//     — the cheaper software variant.
+package pdip
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// NewtonBackend selects how the per-iteration Newton system is solved.
+type NewtonBackend int
+
+const (
+	// NewtonFull solves the full 2(n+m) system of Eq. 12 with dense LU.
+	NewtonFull NewtonBackend = iota + 1
+	// NewtonReduced solves the (n+m) reduced KKT system.
+	NewtonReduced
+)
+
+// String implements fmt.Stringer.
+func (b NewtonBackend) String() string {
+	switch b {
+	case NewtonFull:
+		return "full-lu"
+	case NewtonReduced:
+		return "reduced-kkt"
+	default:
+		return fmt.Sprintf("NewtonBackend(%d)", int(b))
+	}
+}
+
+// Solver is the software PDIP baseline.
+type Solver struct {
+	tol     lp.Tolerances
+	backend NewtonBackend
+}
+
+// Result reports the outcome of a solve, including per-iteration telemetry
+// consumed by the performance estimator.
+type Result struct {
+	Status     lp.Status
+	X, Y, W, Z linalg.Vector
+	// Objective is cᵀx at the returned point.
+	Objective float64
+	// Iterations is the number of Newton steps taken.
+	Iterations int
+	// PrimalInfeasibility, DualInfeasibility and DualityGap are the final
+	// convergence measures.
+	PrimalInfeasibility float64
+	DualInfeasibility   float64
+	DualityGap          float64
+}
+
+// Option configures the solver.
+type Option func(*Solver)
+
+// WithTolerances overrides the stopping parameters.
+func WithTolerances(t lp.Tolerances) Option {
+	return func(s *Solver) { s.tol = t }
+}
+
+// WithBackend selects the Newton-system backend.
+func WithBackend(b NewtonBackend) Option {
+	return func(s *Solver) { s.backend = b }
+}
+
+// New returns a software PDIP solver.
+func New(opts ...Option) (*Solver, error) {
+	s := &Solver{tol: lp.DefaultTolerances(), backend: NewtonFull}
+	for _, o := range opts {
+		o(s)
+	}
+	s.tol = s.tol.WithDefaults()
+	if err := s.tol.Validate(); err != nil {
+		return nil, err
+	}
+	if s.backend != NewtonFull && s.backend != NewtonReduced {
+		return nil, fmt.Errorf("%w: unknown backend %d", lp.ErrInvalid, int(s.backend))
+	}
+	return s, nil
+}
+
+// Solve runs the PDIP iteration on p.
+func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := p.NumVariables(), p.NumConstraints()
+
+	// Arbitrary strictly positive start (§3.1: "initialized as arbitrary
+	// vectors"); all-ones is the conventional choice.
+	x := onesVector(n)
+	w := onesVector(m)
+	y := onesVector(m)
+	z := onesVector(n)
+
+	res := &Result{Status: lp.StatusIterationLimit}
+	for iter := 1; iter <= s.tol.MaxIterations; iter++ {
+		res.Iterations = iter
+
+		rho, err := primalResidual(p, x, w) // b − A·x − w
+		if err != nil {
+			return nil, err
+		}
+		sigma, err := dualResidual(p, y, z) // c − Aᵀ·y + z
+		if err != nil {
+			return nil, err
+		}
+		gap := dualityGap(x, z, y, w)
+
+		res.PrimalInfeasibility = rho.NormInf()
+		res.DualInfeasibility = sigma.NormInf()
+		res.DualityGap = gap
+
+		if res.PrimalInfeasibility <= s.tol.PrimalFeasTol &&
+			res.DualInfeasibility <= s.tol.DualFeasTol &&
+			gap <= s.tol.GapTol {
+			res.Status = lp.StatusOptimal
+			break
+		}
+		if x.NormInf() > s.tol.BlowupLimit {
+			res.Status = lp.StatusUnbounded
+			break
+		}
+		if y.NormInf() > s.tol.BlowupLimit {
+			res.Status = lp.StatusInfeasible
+			break
+		}
+
+		mu := s.tol.Delta * gap / float64(n+m) // Eq. 8
+
+		var dx, dy, dw, dz linalg.Vector
+		switch s.backend {
+		case NewtonFull:
+			dx, dy, dw, dz, err = solveNewtonFull(p, x, y, w, z, rho, sigma, mu)
+		case NewtonReduced:
+			dx, dy, dw, dz, err = solveNewtonReduced(p, x, y, w, z, rho, sigma, mu)
+		}
+		if err != nil {
+			if errors.Is(err, linalg.ErrSingular) {
+				res.Status = lp.StatusNumericalFailure
+				break
+			}
+			return nil, err
+		}
+
+		theta := stepLength(s.tol.StepScale, [][2]linalg.Vector{
+			{x, dx}, {y, dy}, {w, dw}, {z, dz},
+		})
+		if err := x.AxpyInPlace(theta, dx); err != nil {
+			return nil, err
+		}
+		if err := y.AxpyInPlace(theta, dy); err != nil {
+			return nil, err
+		}
+		if err := w.AxpyInPlace(theta, dw); err != nil {
+			return nil, err
+		}
+		if err := z.AxpyInPlace(theta, dz); err != nil {
+			return nil, err
+		}
+		clampPositive(x)
+		clampPositive(y)
+		clampPositive(w)
+		clampPositive(z)
+	}
+
+	res.X, res.Y, res.W, res.Z = x, y, w, z
+	obj, err := p.Objective(x)
+	if err != nil {
+		return nil, err
+	}
+	res.Objective = obj
+	return res, nil
+}
+
+// primalResidual returns b − A·x − w.
+func primalResidual(p *lp.Problem, x, w linalg.Vector) (linalg.Vector, error) {
+	ax, err := p.A.MatVec(x)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.B.Sub(ax)
+	if err != nil {
+		return nil, err
+	}
+	return r.Sub(w)
+}
+
+// dualResidual returns c − Aᵀ·y + z.
+func dualResidual(p *lp.Problem, y, z linalg.Vector) (linalg.Vector, error) {
+	aty, err := p.A.MatVecTranspose(y)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.C.Sub(aty)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(z)
+}
+
+// dualityGap returns zᵀx + yᵀw.
+func dualityGap(x, z, y, w linalg.Vector) float64 {
+	zx, _ := z.Dot(x)
+	yw, _ := y.Dot(w)
+	return zx + yw
+}
+
+// stepLength implements Eq. 11: θ = r · min(1, 1/max(−Δv_i/v_i)) where the
+// max runs over all components of all variable/direction pairs with Δv < 0.
+func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
+	maxRatio := 0.0
+	for _, pr := range pairs {
+		v, dv := pr[0], pr[1]
+		for i := range v {
+			if dv[i] < 0 && v[i] > 0 {
+				if ratio := -dv[i] / v[i]; ratio > maxRatio {
+					maxRatio = ratio
+				}
+			}
+		}
+	}
+	if maxRatio <= 1 {
+		return r * 1 // full (damped) step keeps all variables positive
+	}
+	return r / maxRatio
+}
+
+// clampPositive nudges non-positive entries to a tiny positive value; the
+// damped step keeps variables positive in exact arithmetic, and this guards
+// the X⁻¹, Y⁻¹ scalings against rounding.
+func clampPositive(v linalg.Vector) {
+	const floor = 1e-14
+	for i, x := range v {
+		if x < floor {
+			v[i] = floor
+		}
+	}
+}
+
+func onesVector(n int) linalg.Vector {
+	v := linalg.NewVector(n)
+	v.Fill(1)
+	return v
+}

@@ -1,0 +1,286 @@
+package pdip
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *linalg.Matrix {
+	t.Helper()
+	m, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("MatrixFromRows: %v", err)
+	}
+	return m
+}
+
+func mustProblem(t *testing.T, name string, c linalg.Vector, a *linalg.Matrix, b linalg.Vector) *lp.Problem {
+	t.Helper()
+	p, err := lp.New(name, c, a, b)
+	if err != nil {
+		t.Fatalf("lp.New: %v", err)
+	}
+	return p
+}
+
+func mustSolver(t *testing.T, opts ...Option) *Solver {
+	t.Helper()
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// knownLPs is a table of LPs with hand-verified optima.
+func knownLPs(t *testing.T) []struct {
+	name string
+	p    *lp.Problem
+	opt  float64
+} {
+	return []struct {
+		name string
+		p    *lp.Problem
+		opt  float64
+	}{
+		{
+			// max 3x+2y s.t. x+y ≤ 4, x+3y ≤ 6 ⇒ x=4, y=0, obj 12.
+			name: "corner-optimum",
+			p: mustProblem(t, "t1", linalg.VectorOf(3, 2),
+				mustMatrix(t, [][]float64{{1, 1}, {1, 3}}), linalg.VectorOf(4, 6)),
+			opt: 12,
+		},
+		{
+			// max x+y s.t. x ≤ 2, y ≤ 3 ⇒ obj 5.
+			name: "box",
+			p: mustProblem(t, "t2", linalg.VectorOf(1, 1),
+				mustMatrix(t, [][]float64{{1, 0}, {0, 1}}), linalg.VectorOf(2, 3)),
+			opt: 5,
+		},
+		{
+			// max 5x+4y+3z s.t. 2x+3y+z ≤ 5, 4x+y+2z ≤ 11, 3x+4y+2z ≤ 8
+			// (Vanderbei's textbook example) ⇒ obj 13 at (2,0,1).
+			name: "vanderbei",
+			p: mustProblem(t, "t3", linalg.VectorOf(5, 4, 3),
+				mustMatrix(t, [][]float64{{2, 3, 1}, {4, 1, 2}, {3, 4, 2}}),
+				linalg.VectorOf(5, 11, 8)),
+			opt: 13,
+		},
+		{
+			// Negative coefficients: max x−y s.t. −x+y ≤ 1, x+y ≤ 3,
+			// optimum at y=0, x=3 ⇒ obj 3.
+			name: "negative-coeffs",
+			p: mustProblem(t, "t4", linalg.VectorOf(1, -1),
+				mustMatrix(t, [][]float64{{-1, 1}, {1, 1}}), linalg.VectorOf(1, 3)),
+			opt: 3,
+		},
+	}
+}
+
+func TestSolveKnownOptima(t *testing.T) {
+	for _, backend := range []NewtonBackend{NewtonFull, NewtonReduced} {
+		for _, tc := range knownLPs(t) {
+			t.Run(backend.String()+"/"+tc.name, func(t *testing.T) {
+				s := mustSolver(t, WithBackend(backend))
+				res, err := s.Solve(tc.p)
+				if err != nil {
+					t.Fatalf("Solve: %v", err)
+				}
+				if res.Status != lp.StatusOptimal {
+					t.Fatalf("status = %v, want optimal (res=%+v)", res.Status, res)
+				}
+				if math.Abs(res.Objective-tc.opt) > 1e-4*(1+math.Abs(tc.opt)) {
+					t.Errorf("objective = %v, want %v", res.Objective, tc.opt)
+				}
+				ok, err := tc.p.IsFeasible(res.X, 1e-6)
+				if err != nil {
+					t.Fatalf("IsFeasible: %v", err)
+				}
+				if !ok {
+					t.Errorf("returned point infeasible: %v", res.X)
+				}
+			})
+		}
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 15, Seed: seed})
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		full, err := mustSolver(t, WithBackend(NewtonFull)).Solve(p)
+		if err != nil {
+			t.Fatalf("full Solve: %v", err)
+		}
+		red, err := mustSolver(t, WithBackend(NewtonReduced)).Solve(p)
+		if err != nil {
+			t.Fatalf("reduced Solve: %v", err)
+		}
+		if full.Status != lp.StatusOptimal || red.Status != lp.StatusOptimal {
+			t.Fatalf("seed %d: statuses %v / %v", seed, full.Status, red.Status)
+		}
+		if math.Abs(full.Objective-red.Objective) > 1e-4*(1+math.Abs(full.Objective)) {
+			t.Errorf("seed %d: objectives differ: %v vs %v", seed, full.Objective, red.Objective)
+		}
+	}
+}
+
+func TestStrongDuality(t *testing.T) {
+	// Solving the dual should give the negated primal optimum
+	// (the dual is re-expressed as a max problem).
+	p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	s := mustSolver(t)
+	primal, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("primal Solve: %v", err)
+	}
+	dual, err := s.Solve(p.Dual())
+	if err != nil {
+		t.Fatalf("dual Solve: %v", err)
+	}
+	if primal.Status != lp.StatusOptimal || dual.Status != lp.StatusOptimal {
+		t.Fatalf("statuses %v / %v", primal.Status, dual.Status)
+	}
+	if math.Abs(primal.Objective+dual.Objective) > 1e-3*(1+math.Abs(primal.Objective)) {
+		t.Errorf("strong duality violated: primal %v, dual %v", primal.Objective, dual.Objective)
+	}
+}
+
+func TestComplementarySlacknessAtOptimum(t *testing.T) {
+	p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 9, Seed: 11})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	res, err := mustSolver(t).Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for i := range res.X {
+		if prod := res.X[i] * res.Z[i]; prod > 1e-4 {
+			t.Errorf("x[%d]·z[%d] = %v, want ≈0", i, i, prod)
+		}
+	}
+	for j := range res.Y {
+		if prod := res.Y[j] * res.W[j]; prod > 1e-4 {
+			t.Errorf("y[%d]·w[%d] = %v, want ≈0", j, j, prod)
+		}
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p, err := lp.GenerateInfeasible(lp.GenConfig{Constraints: 9, Seed: seed})
+		if err != nil {
+			t.Fatalf("GenerateInfeasible: %v", err)
+		}
+		res, err := mustSolver(t).Solve(p)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if res.Status != lp.StatusInfeasible {
+			t.Errorf("seed %d: status = %v, want infeasible", seed, res.Status)
+		}
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	// max x s.t. −x + y ≤ 1: x can grow without bound.
+	p := mustProblem(t, "unbounded", linalg.VectorOf(1, 0),
+		mustMatrix(t, [][]float64{{-1, 1}}), linalg.VectorOf(1))
+	res, err := mustSolver(t).Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestRandomFeasibleAlwaysOptimal(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 12, Seed: 100 + seed})
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		res, err := mustSolver(t).Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		if res.Status != lp.StatusOptimal {
+			t.Errorf("seed %d: status = %v, want optimal", seed, res.Status)
+		}
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := mustProblem(t, "t", linalg.VectorOf(3, 2),
+		mustMatrix(t, [][]float64{{1, 1}, {1, 3}}), linalg.VectorOf(4, 6))
+	s := mustSolver(t, WithTolerances(lp.Tolerances{MaxIterations: 2}))
+	res, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.StatusIterationLimit {
+		t.Errorf("status = %v, want iteration-limit", res.Status)
+	}
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", res.Iterations)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := New(WithBackend(NewtonBackend(9))); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("bad backend: %v, want ErrInvalid", err)
+	}
+	if _, err := New(WithTolerances(lp.Tolerances{Delta: 2})); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("bad delta: %v, want ErrInvalid", err)
+	}
+}
+
+func TestSolveInvalidProblem(t *testing.T) {
+	s := mustSolver(t)
+	bad := &lp.Problem{}
+	if _, err := s.Solve(bad); !errors.Is(err, lp.ErrInvalid) {
+		t.Errorf("Solve(invalid) = %v, want ErrInvalid", err)
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if NewtonFull.String() != "full-lu" || NewtonReduced.String() != "reduced-kkt" {
+		t.Error("backend String wrong")
+	}
+	if NewtonBackend(7).String() == "" {
+		t.Error("unknown backend String empty")
+	}
+}
+
+func TestIterationCountReasonable(t *testing.T) {
+	// Interior-point methods converge in tens of iterations, largely
+	// independent of size; make sure we are in that regime.
+	p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: 30, Seed: 77})
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	res, err := mustSolver(t).Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Iterations > 120 {
+		t.Errorf("iterations = %d, want < 120", res.Iterations)
+	}
+}

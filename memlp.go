@@ -1,0 +1,211 @@
+// Package memlp is a memristor-crossbar linear-program solver: a full
+// reproduction of "A low-computation-complexity, energy-efficient, and
+// high-performance linear program solver based on primal dual interior point
+// method using memristor crossbars" (Cai, Ren, Soundarajan, Wang).
+//
+// The package solves linear programs in the canonical form
+//
+//	maximize cᵀx  subject to  A·x ≤ b,  x ≥ 0
+//
+// with four interchangeable engines:
+//
+//   - EngineCrossbar — the paper's Algorithm 1: the full PDIP Newton system
+//     reformulated for non-negative analog crossbar hardware, simulated with
+//     device-level non-idealities (process variation, conductance
+//     quantization, finite DAC/ADC precision).
+//   - EngineCrossbarLargeScale — the paper's Algorithm 2: two much smaller
+//     systems per iteration for crossbar-size-limited deployments.
+//   - EnginePDIP — the software primal–dual interior-point baseline.
+//   - EngineSimplex — the classic two-phase simplex baseline.
+//
+// Crossbar solves return hardware latency/energy estimates derived from
+// counted physical operations and calibrated device constants, so the
+// paper's speed-up and energy-gain experiments can be regenerated (see
+// EXPERIMENTS.md and cmd/benchtables).
+//
+// # Quick start
+//
+//	p, err := memlp.NewProblem("diet",
+//	    []float64{3, 2},
+//	    [][]float64{{1, 1}, {1, 3}},
+//	    []float64{4, 6})
+//	...
+//	sol, err := memlp.Solve(p, memlp.EngineCrossbar)
+//	fmt.Println(sol.Status, sol.Objective, sol.Hardware.Latency)
+package memlp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrInvalid reports malformed problems or options.
+	ErrInvalid = lp.ErrInvalid
+	// ErrUnknownEngine reports an unrecognized Engine value.
+	ErrUnknownEngine = errors.New("memlp: unknown engine")
+)
+
+// Problem is a linear program: maximize Cᵀx subject to A·x ≤ B, x ≥ 0.
+type Problem struct {
+	inner *lp.Problem
+}
+
+// NewProblem constructs and validates a problem from row-major data.
+func NewProblem(name string, c []float64, a [][]float64, b []float64) (*Problem, error) {
+	mat, err := linalg.MatrixFromRows(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	cv := make(linalg.Vector, len(c))
+	copy(cv, c)
+	bv := make(linalg.Vector, len(b))
+	copy(bv, b)
+	inner, err := lp.New(name, cv, mat, bv)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// Name returns the problem's label.
+func (p *Problem) Name() string { return p.inner.Name }
+
+// NumVariables returns n.
+func (p *Problem) NumVariables() int { return p.inner.NumVariables() }
+
+// NumConstraints returns m.
+func (p *Problem) NumConstraints() int { return p.inner.NumConstraints() }
+
+// Objective evaluates cᵀx.
+func (p *Problem) Objective(x []float64) (float64, error) {
+	return p.inner.Objective(linalg.Vector(x))
+}
+
+// IsFeasible reports whether x satisfies A·x ≤ b·(1+tol) and x ≥ −tol — the
+// paper's relaxed α-check with α = 1+tol.
+func (p *Problem) IsFeasible(x []float64, tol float64) (bool, error) {
+	return p.inner.IsFeasible(linalg.Vector(x), tol)
+}
+
+// Dual returns the symmetric dual, re-expressed as a maximization problem
+// whose optimum is the negated dual optimum.
+func (p *Problem) Dual() *Problem { return &Problem{inner: p.inner.Dual()} }
+
+// WriteText serializes the problem in the textual format understood by
+// ReadProblem (and by the cmd/lpsolve tool).
+func (p *Problem) WriteText(w io.Writer) error { return p.inner.WriteText(w) }
+
+// ReadProblem parses the textual problem format:
+//
+//	# comment
+//	name example
+//	maximize 3 2
+//	subject 1 1 <= 4
+//	subject 1 3 <= 6
+func ReadProblem(r io.Reader) (*Problem, error) {
+	inner, err := lp.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// ReadProblemMPS parses a linear program in (a strict subset of) MPS format
+// and converts it to the canonical maximize form. See internal documentation
+// for the supported subset; anything outside it returns ErrInvalid rather
+// than a silently wrong problem.
+func ReadProblemMPS(r io.Reader) (*Problem, error) {
+	inner, err := lp.ReadMPS(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// WriteMPS serializes the problem in MPS format (as a minimization of −cᵀx
+// with all constraints as L rows); ReadProblemMPS round-trips it exactly.
+func (p *Problem) WriteMPS(w io.Writer) error { return p.inner.WriteMPS(w) }
+
+// GenerateFeasible returns a random feasible, bounded LP with m constraints
+// and n variables (n = 0 means the paper's ratio n = m/3). Instances are
+// reproducible per seed.
+func GenerateFeasible(m, n int, seed int64) (*Problem, error) {
+	inner, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Variables: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// GenerateInfeasible returns a random infeasible LP (contradictory
+// constraints by construction) with m constraints and n variables.
+func GenerateInfeasible(m, n int, seed int64) (*Problem, error) {
+	inner, err := lp.GenerateInfeasible(lp.GenConfig{Constraints: m, Variables: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// Status classifies a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means the engine converged to an optimum (for crossbar
+	// engines: within the analog accuracy floor, α-feasibility verified).
+	StatusOptimal = Status(lp.StatusOptimal)
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible = Status(lp.StatusInfeasible)
+	// StatusUnbounded means the objective grows without bound.
+	StatusUnbounded = Status(lp.StatusUnbounded)
+	// StatusIterationLimit means the iteration budget ran out.
+	StatusIterationLimit = Status(lp.StatusIterationLimit)
+	// StatusNumericalFailure means the solve failed numerically (singular
+	// analog network, α-check rejection, …).
+	StatusNumericalFailure = Status(lp.StatusNumericalFailure)
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string { return lp.Status(s).String() }
+
+// HardwareEstimate predicts the analog hardware cost of a crossbar solve.
+type HardwareEstimate struct {
+	// Latency is the end-to-end solve time on the modelled hardware.
+	Latency time.Duration
+	// EnergyJoules is the corresponding energy.
+	EnergyJoules float64
+	// CellWrites, AnalogOps and Conversions are the counted operations the
+	// estimate is built from.
+	CellWrites  int64
+	AnalogOps   int64
+	Conversions int64
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status    Status
+	X         []float64
+	DualY     []float64
+	Objective float64
+	// Iterations is the PDIP iteration count (0 for simplex; see Pivots).
+	Iterations int
+	// Pivots is the simplex pivot count (0 for PDIP engines).
+	Pivots int
+	// WallTime is the measured software solve duration.
+	WallTime time.Duration
+	// Hardware is the modelled crossbar cost (nil for software engines).
+	Hardware *HardwareEstimate
+	// PrimalInfeasibility, DualInfeasibility and DualityGap are the final
+	// convergence measures for PDIP engines.
+	PrimalInfeasibility float64
+	DualInfeasibility   float64
+	DualityGap          float64
+}

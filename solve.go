@@ -1,0 +1,491 @@
+package memlp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/memlp/memlp/internal/core"
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/memristor"
+	"github.com/memlp/memlp/internal/noc"
+	"github.com/memlp/memlp/internal/pdip"
+	"github.com/memlp/memlp/internal/perf"
+	"github.com/memlp/memlp/internal/simplex"
+	"github.com/memlp/memlp/internal/variation"
+)
+
+// Engine selects the solver implementation.
+type Engine int
+
+// Available engines.
+const (
+	// EngineCrossbar is the paper's Algorithm 1: the full reformulated PDIP
+	// Newton system on one (possibly NoC-tiled) analog fabric.
+	EngineCrossbar Engine = iota + 1
+	// EngineCrossbarLargeScale is the paper's Algorithm 2: two smaller
+	// systems per iteration for crossbar-size-limited deployments.
+	EngineCrossbarLargeScale
+	// EnginePDIP is the software primal–dual interior-point baseline
+	// (dense-LU Newton solves — the O(N³)-per-iteration reference).
+	EnginePDIP
+	// EnginePDIPReduced is the software PDIP with the (n+m) reduced KKT
+	// backend — the "efficient library" baseline (linprog-class).
+	EnginePDIPReduced
+	// EngineSimplex is the two-phase simplex baseline.
+	EngineSimplex
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineCrossbar:
+		return "crossbar"
+	case EngineCrossbarLargeScale:
+		return "crossbar-large-scale"
+	case EnginePDIP:
+		return "pdip"
+	case EnginePDIPReduced:
+		return "pdip-reduced"
+	case EngineSimplex:
+		return "simplex"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// options collects the cross-engine configuration.
+type options struct {
+	variationPct   float64
+	cycleNoise     float64
+	seed           int64
+	ioBits         int
+	writeBits      int
+	globalIORange  bool
+	alpha          float64
+	maxIterations  int
+	constantStep   float64
+	wireResistance float64
+	useNoC         bool
+	nocTopology    noc.Topology
+	nocTileSize    int
+	literal        bool
+	timing         memristor.Timing
+}
+
+// Option configures Solve.
+type Option func(*options) error
+
+// WithVariation sets the process-variation magnitude (e.g. 0.10 for "up to
+// 10%", the paper's Eq. 18 model) for crossbar engines.
+func WithVariation(pct float64) Option {
+	return func(o *options) error {
+		if pct < 0 || pct >= 1 {
+			return fmt.Errorf("%w: variation %v", ErrInvalid, pct)
+		}
+		o.variationPct = pct
+		return nil
+	}
+}
+
+// WithCycleNoise adds per-write cycle-to-cycle noise as a fraction of the
+// static variation magnitude.
+func WithCycleNoise(frac float64) Option {
+	return func(o *options) error {
+		if frac < 0 || frac > 1 {
+			return fmt.Errorf("%w: cycle noise %v", ErrInvalid, frac)
+		}
+		o.cycleNoise = frac
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed for variation draws, making crossbar solves
+// reproducible.
+func WithSeed(seed int64) Option {
+	return func(o *options) error { o.seed = seed; return nil }
+}
+
+// WithIOBits sets the DAC/ADC precision (the paper uses 8).
+func WithIOBits(bits int) Option {
+	return func(o *options) error {
+		if bits < 1 || bits > 24 {
+			return fmt.Errorf("%w: io bits %d", ErrInvalid, bits)
+		}
+		o.ioBits = bits
+		return nil
+	}
+}
+
+// WithWriteBits sets the conductance write precision.
+func WithWriteBits(bits int) Option {
+	return func(o *options) error {
+		if bits < 1 || bits > 24 {
+			return fmt.Errorf("%w: write bits %d", ErrInvalid, bits)
+		}
+		o.writeBits = bits
+		return nil
+	}
+}
+
+// WithGlobalIORange selects a single shared DAC/ADC full-scale range per
+// vector instead of the default per-line programmable-gain converters.
+func WithGlobalIORange() Option {
+	return func(o *options) error { o.globalIORange = true; return nil }
+}
+
+// WithAlpha sets the relaxed feasibility parameter α of §3.2 (≥ 1). Under
+// variation v a solution legitimately violates the true constraints by up to
+// ≈v, so α ≈ 1 + 2v is a sensible setting; the default scales automatically.
+func WithAlpha(alpha float64) Option {
+	return func(o *options) error {
+		if alpha < 1 {
+			return fmt.Errorf("%w: alpha %v", ErrInvalid, alpha)
+		}
+		o.alpha = alpha
+		return nil
+	}
+}
+
+// WithMaxIterations bounds the PDIP iteration count.
+func WithMaxIterations(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("%w: max iterations %d", ErrInvalid, n)
+		}
+		o.maxIterations = n
+		return nil
+	}
+}
+
+// WithConstantStep sets Algorithm 2's constant step length θ ∈ (0, 1).
+func WithConstantStep(theta float64) Option {
+	return func(o *options) error {
+		if theta <= 0 || theta >= 1 {
+			return fmt.Errorf("%w: constant step %v", ErrInvalid, theta)
+		}
+		o.constantStep = theta
+		return nil
+	}
+}
+
+// WithNoC runs the crossbar engines on a tiled multi-crossbar fabric
+// coordinated by the given analog NoC topology ("hierarchical" per Fig. 3a
+// or "mesh" per Fig. 3b) with the given tile size.
+func WithNoC(topology string, tileSize int) Option {
+	return func(o *options) error {
+		switch topology {
+		case "hierarchical":
+			o.nocTopology = noc.Hierarchical
+		case "mesh":
+			o.nocTopology = noc.Mesh
+		default:
+			return fmt.Errorf("%w: NoC topology %q", ErrInvalid, topology)
+		}
+		if tileSize < 1 {
+			return fmt.Errorf("%w: tile size %d", ErrInvalid, tileSize)
+		}
+		o.useNoC = true
+		o.nocTileSize = tileSize
+		return nil
+	}
+}
+
+// WithWireResistance enables the first-order IR-drop model: rw ohms of metal
+// line resistance per crossbar segment attenuate each cell's effective
+// conductance along its current path.
+func WithWireResistance(rw float64) Option {
+	return func(o *options) error {
+		if rw < 0 {
+			return fmt.Errorf("%w: wire resistance %v", ErrInvalid, rw)
+		}
+		o.wireResistance = rw
+		return nil
+	}
+}
+
+// WithLiteralFillers selects the paper-literal εI reading of Algorithm 2's
+// Eq. 16c (see the design notes; unstable for m ≠ n — ablation use only).
+func WithLiteralFillers() Option {
+	return func(o *options) error { o.literal = true; return nil }
+}
+
+// SolveBatch solves a sequence of problems sharing one constraint matrix A
+// (with varying b and c) on a single persistent crossbar fabric — the
+// paper's high-data-rate scenario. The fabric is programmed once; each
+// subsequent solve pays only the O(N)-per-iteration coefficient refresh, and
+// the array's static process variation persists across the batch exactly as
+// deployed hardware would. Only EngineCrossbar supports batching.
+func SolveBatch(problems []*Problem, opts ...Option) ([]*Solution, error) {
+	if len(problems) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	o := options{seed: 1, timing: memristor.DefaultTiming()}
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return nil, err
+		}
+	}
+	inner := make([]*lp.Problem, len(problems))
+	for i, p := range problems {
+		if p == nil || p.inner == nil {
+			return nil, fmt.Errorf("%w: nil problem at %d", ErrInvalid, i)
+		}
+		inner[i] = p.inner
+	}
+
+	xcfg := crossbar.Config{
+		IOBits:         o.ioBits,
+		WriteBits:      o.writeBits,
+		GlobalIORange:  o.globalIORange,
+		CycleNoise:     o.cycleNoise,
+		WireResistance: o.wireResistance,
+	}
+	if o.variationPct > 0 {
+		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		xcfg.Variation = vm
+	}
+	alpha := o.alpha
+	if alpha == 0 {
+		alpha = 1.05 + 2*o.variationPct
+	}
+	copts := core.Options{Fabric: core.SingleCrossbarFactory(xcfg), Alpha: alpha}
+	if o.maxIterations > 0 {
+		copts.Tol.MaxIterations = o.maxIterations
+	}
+	s, err := core.NewSolver(copts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results, err := s.SolveBatch(inner)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	out := make([]*Solution, len(results))
+	var prev crossbar.Counters
+	for i, res := range results {
+		// Counters are cumulative on the shared fabric; report marginals.
+		marginal := crossbar.Counters{
+			CellWrites:    res.Counters.CellWrites - prev.CellWrites,
+			MatVecOps:     res.Counters.MatVecOps - prev.MatVecOps,
+			SolveOps:      res.Counters.SolveOps - prev.SolveOps,
+			IOConversions: res.Counters.IOConversions - prev.IOConversions,
+		}
+		prev = res.Counters
+		est := perf.CrossbarCost(marginal, o.timing)
+		out[i] = &Solution{
+			Status:     Status(res.Status),
+			X:          res.X,
+			DualY:      res.Y,
+			Objective:  res.Objective,
+			Iterations: res.Iterations,
+			WallTime:   wall / time.Duration(len(results)),
+			Hardware: &HardwareEstimate{
+				Latency:      est.Latency,
+				EnergyJoules: est.Energy,
+				CellWrites:   marginal.CellWrites,
+				AnalogOps:    marginal.MatVecOps + marginal.SolveOps,
+				Conversions:  marginal.IOConversions,
+			},
+			PrimalInfeasibility: res.PrimalInfeasibility,
+			DualInfeasibility:   res.DualInfeasibility,
+			DualityGap:          res.DualityGap,
+		}
+	}
+	return out, nil
+}
+
+// Solve runs the selected engine on p.
+func Solve(p *Problem, engine Engine, opts ...Option) (*Solution, error) {
+	if p == nil || p.inner == nil {
+		return nil, fmt.Errorf("%w: nil problem", ErrInvalid)
+	}
+	o := options{seed: 1, timing: memristor.DefaultTiming()}
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return nil, err
+		}
+	}
+
+	switch engine {
+	case EnginePDIP, EnginePDIPReduced:
+		return solveSoftwarePDIP(p, engine, o)
+	case EngineSimplex:
+		return solveSimplex(p)
+	case EngineCrossbar, EngineCrossbarLargeScale:
+		return solveCrossbar(p, engine, o)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownEngine, int(engine))
+	}
+}
+
+func solveSoftwarePDIP(p *Problem, engine Engine, o options) (*Solution, error) {
+	backend := pdip.NewtonFull
+	if engine == EnginePDIPReduced {
+		backend = pdip.NewtonReduced
+	}
+	tol := lp.DefaultTolerances()
+	if o.maxIterations > 0 {
+		tol.MaxIterations = o.maxIterations
+	}
+	s, err := pdip.New(pdip.WithBackend(backend), pdip.WithTolerances(tol))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.Solve(p.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Status:              Status(res.Status),
+		X:                   res.X,
+		DualY:               res.Y,
+		Objective:           res.Objective,
+		Iterations:          res.Iterations,
+		WallTime:            time.Since(start),
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+	}, nil
+}
+
+func solveSimplex(p *Problem) (*Solution, error) {
+	s, err := simplex.New()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.Solve(p.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Status:    Status(res.Status),
+		X:         res.X,
+		Objective: res.Objective,
+		Pivots:    res.Pivots,
+		WallTime:  time.Since(start),
+	}, nil
+}
+
+func solveCrossbar(p *Problem, engine Engine, o options) (*Solution, error) {
+	xcfg := crossbar.Config{
+		IOBits:         o.ioBits,
+		WriteBits:      o.writeBits,
+		GlobalIORange:  o.globalIORange,
+		CycleNoise:     o.cycleNoise,
+		WireResistance: o.wireResistance,
+	}
+	if o.variationPct > 0 {
+		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		xcfg.Variation = vm
+	}
+
+	var factory core.FabricFactory
+	var nocCfg *noc.Config
+	if o.useNoC {
+		cfg := noc.Config{Topology: o.nocTopology, TileSize: o.nocTileSize, Crossbar: xcfg}
+		nocCfg = &cfg
+		factory = func(size int) (core.Fabric, error) {
+			c := cfg
+			needed := (size + c.TileSize - 1) / c.TileSize
+			if needed*needed > c.MaxTiles {
+				c.MaxTiles = needed * needed
+			}
+			return noc.New(c)
+		}
+	} else {
+		factory = core.SingleCrossbarFactory(xcfg)
+	}
+
+	alpha := o.alpha
+	if alpha == 0 {
+		alpha = 1.05 + 2*o.variationPct
+	}
+	copts := core.Options{
+		Fabric:         factory,
+		Alpha:          alpha,
+		ConstantStep:   o.constantStep,
+		LiteralFillers: o.literal,
+	}
+	if o.maxIterations > 0 {
+		copts.Tol.MaxIterations = o.maxIterations
+	}
+
+	start := time.Now()
+	var res *core.Result
+	var err error
+	var nocFabrics []*noc.TiledFabric
+	if o.useNoC {
+		// Capture the fabrics so NoC transfer stats reach the estimate.
+		inner := factory
+		factory = func(size int) (core.Fabric, error) {
+			f, err := inner(size)
+			if err != nil {
+				return nil, err
+			}
+			if tf, ok := f.(*noc.TiledFabric); ok {
+				nocFabrics = append(nocFabrics, tf)
+			}
+			return f, nil
+		}
+		copts.Fabric = factory
+	}
+
+	switch engine {
+	case EngineCrossbar:
+		var s *core.Solver
+		s, err = core.NewSolver(copts)
+		if err != nil {
+			return nil, err
+		}
+		res, err = s.Solve(p.inner)
+	case EngineCrossbarLargeScale:
+		var s *core.LargeScaleSolver
+		s, err = core.NewLargeScaleSolver(copts)
+		if err != nil {
+			return nil, err
+		}
+		res, err = s.Solve(p.inner)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	est := perf.CrossbarCost(res.Counters, o.timing)
+	if nocCfg != nil {
+		for _, tf := range nocFabrics {
+			est = est.Add(perf.NoCCost(tf.Stats(), *nocCfg))
+		}
+	}
+
+	return &Solution{
+		Status:     Status(res.Status),
+		X:          res.X,
+		DualY:      res.Y,
+		Objective:  res.Objective,
+		Iterations: res.Iterations,
+		WallTime:   wall,
+		Hardware: &HardwareEstimate{
+			Latency:      est.Latency,
+			EnergyJoules: est.Energy,
+			CellWrites:   res.Counters.CellWrites,
+			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
+			Conversions:  res.Counters.IOConversions,
+		},
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+	}, nil
+}
