@@ -13,6 +13,7 @@ package memlp
 // minutes, not hours.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/memlp/memlp/internal/experiments"
@@ -221,4 +222,47 @@ func BenchmarkAblationWriteBits(b *testing.B) {
 	ablationBench(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationWriteBits(cfg, 16, []int{10, 14})
 	})
+}
+
+// --- Solver handle reuse (tentpole acceptance benchmark) -------------------
+
+// BenchmarkSolverReuse measures repeated same-shape solves on one persistent
+// handle: the fabric stays programmed and the iteration workspaces are
+// reused, so per-solve allocation should be near zero.
+func BenchmarkSolverReuse(b *testing.B) {
+	p, err := GenerateFeasible(8, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveOneShot is the baseline the handle is measured against: the
+// package-level convenience wrapper rebuilds solver and fabric every call.
+func BenchmarkSolveOneShot(b *testing.B) {
+	p, err := GenerateFeasible(8, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, EngineCrossbar); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -23,10 +23,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -53,7 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := experiments.Config{Trials: *trials, Seed: *seed}
+	// SIGINT aborts the sweep between trials (a large -sizes point can run
+	// for minutes).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Context: ctx}
 	var err error
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fmt.Fprintf(stderr, "benchtables: -sizes: %v\n", err)

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/memlp/memlp"
@@ -69,16 +71,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Hardware options only apply to the crossbar engines; passing them to a
+	// software engine would be rejected by memlp.NewSolver.
+	crossbarEngine := engine == memlp.EngineCrossbar || engine == memlp.EngineCrossbarLargeScale
 	var opts []memlp.Option
-	if *varPct > 0 {
-		opts = append(opts, memlp.WithVariation(*varPct))
-	}
-	opts = append(opts, memlp.WithSeed(*seed))
-	if *nocTopo != "" {
-		opts = append(opts, memlp.WithNoC(*nocTopo, *tile))
+	if crossbarEngine {
+		if *varPct > 0 {
+			opts = append(opts, memlp.WithVariation(*varPct))
+		}
+		opts = append(opts, memlp.WithSeed(*seed))
+		if *nocTopo != "" {
+			opts = append(opts, memlp.WithNoC(*nocTopo, *tile))
+		}
+	} else if *varPct > 0 || *nocTopo != "" {
+		fmt.Fprintf(stderr, "lpsolve: -variation and -noc require a crossbar engine\n")
+		return 2
 	}
 
-	sol, err := memlp.Solve(p, engine, opts...)
+	solver, err := memlp.NewSolver(engine, opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sol, err := solver.Solve(ctx, p)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
 		return 1

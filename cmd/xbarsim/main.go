@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 
 	"github.com/memlp/memlp/internal/crossbar"
@@ -53,10 +55,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// SIGINT stops the trial loop; statistics over the completed trials are
+	// still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	r := rand.New(rand.NewSource(*seed))
 	var mvErrs, solveErrs []float64
 
 	for trial := 0; trial < *trials; trial++ {
+		if ctx.Err() != nil {
+			if len(mvErrs) == 0 {
+				fmt.Fprintln(stderr, "xbarsim: interrupted before any trial completed")
+				return 1
+			}
+			fmt.Fprintf(stderr, "xbarsim: interrupted after %d/%d trials\n", trial, *trials)
+			break
+		}
 		cfg := crossbar.Config{
 			Size:           *size,
 			IOBits:         *ioBits,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,6 +30,8 @@ func main() {
 		log.Fatalf("building problem: %v", err)
 	}
 
+	ctx := context.Background()
+
 	// Software reference.
 	ref, err := memlp.Solve(p, memlp.EnginePDIP)
 	if err != nil {
@@ -38,10 +41,16 @@ func main() {
 		ref.Status, ref.Objective, ref.X, float64(ref.Iterations))
 
 	// The same problem on the simulated analog crossbar, with 10% process
-	// variation — the paper's Algorithm 1.
-	sol, err := memlp.Solve(p, memlp.EngineCrossbar,
+	// variation — the paper's Algorithm 1. A Solver handle keeps the
+	// programmed array (and its variation draw) alive across Solve calls;
+	// the context can cancel a long solve mid-iteration.
+	solver, err := memlp.NewSolver(memlp.EngineCrossbar,
 		memlp.WithVariation(0.10),
 		memlp.WithSeed(42))
+	if err != nil {
+		log.Fatalf("building crossbar solver: %v", err)
+	}
+	sol, err := solver.Solve(ctx, p)
 	if err != nil {
 		log.Fatalf("crossbar solve: %v", err)
 	}

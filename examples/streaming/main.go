@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,8 +44,15 @@ func main() {
 		problems[i] = p
 	}
 
-	sols, err := memlp.SolveBatch(problems,
+	// The Solver handle is the "deployed router": one persistent simulated
+	// array whose programming (and process variation) survives across the
+	// whole capacity stream.
+	solver, err := memlp.NewSolver(memlp.EngineCrossbar,
 		memlp.WithVariation(0.05), memlp.WithSeed(11))
+	if err != nil {
+		log.Fatalf("NewSolver: %v", err)
+	}
+	sols, err := solver.SolveBatch(context.Background(), problems)
 	if err != nil {
 		log.Fatalf("SolveBatch: %v", err)
 	}

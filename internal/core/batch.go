@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
 )
@@ -18,6 +21,17 @@ import (
 //
 // All problems must have identical A (checked); b and c may vary freely.
 func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
+	return s.SolveBatchContext(context.Background(), problems)
+}
+
+// SolveBatchContext is SolveBatch with cancellation: the context is checked
+// before each problem and once per iteration inside each solve. On
+// cancellation the completed results are discarded and the wrapped context
+// error is returned.
+//
+// Each result's Counters and WallTime are the per-solve marginals; the first
+// result carries the one-time fabric programming cost.
+func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) ([]*Result, error) {
 	if len(problems) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", lp.ErrInvalid)
 	}
@@ -64,8 +78,12 @@ func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
 
 	var fab Fabric
 	var ext *extended
+	var prevCounters crossbar.Counters
 	results := make([]*Result, 0, len(problems))
 	for idx, p := range problems {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: batch canceled before problem %d: %w", idx, err)
+		}
 		// Scale this instance's b by the shared row scales.
 		b := p.B.Clone()
 		for i := range b {
@@ -90,10 +108,17 @@ func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
 			}
 		}
 
-		res, err := s.solveOnFabric(scaled, p, scales, ext, fab)
+		solveStart := time.Now()
+		res, err := s.solveOnFabric(ctx, scaled, p, scales, ext, fab)
 		if err != nil {
 			return nil, fmt.Errorf("problem %d: %w", idx, err)
 		}
+		res.WallTime = time.Since(solveStart)
+		// Marginalize the cumulative fabric counters so each result reports
+		// only its own operations (the first also carries the programming).
+		cum := fab.Counters()
+		res.Counters = cum.Sub(prevCounters)
+		prevCounters = cum
 		results = append(results, res)
 	}
 	return results, nil
@@ -103,7 +128,7 @@ func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
 // fabric, resetting the complementarity rows to the all-ones start first.
 // scaled is the equilibrated problem driving the iteration; orig is used
 // for the final α-check and objective; scales unscale the duals.
-func (s *Solver) solveOnFabric(scaled, orig *lp.Problem, scales []float64, ext *extended, fab Fabric) (*Result, error) {
+func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, scales []float64, ext *extended, fab Fabric) (*Result, error) {
 	n, m := scaled.NumVariables(), scaled.NumConstraints()
 	tol := s.opts.Tol
 
@@ -134,6 +159,9 @@ func (s *Solver) solveOnFabric(scaled, orig *lp.Problem, scales []float64, ext *
 	best := snapshot{score: infNaN()}
 
 	for iter := 1; iter <= tol.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+		}
 		res.Iterations = iter
 		gap := dualityGap(x, z, y, w)
 		mu := tol.Delta * gap / float64(n+m)
@@ -220,7 +248,6 @@ func (s *Solver) solveOnFabric(scaled, orig *lp.Problem, scales []float64, ext *
 		return nil, err
 	}
 	res.Objective = obj
-	res.Counters = fab.Counters()
 
 	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
 		ok, err := orig.IsFeasible(res.X, s.opts.Alpha-1)

@@ -34,6 +34,14 @@ type extended struct {
 
 	// matrix is the digital mirror of what is programmed on the fabric.
 	matrix *linalg.Matrix
+
+	// Reusable per-iteration scratch, sized to the extended system. All are
+	// lazily built and survive across solves of same-sized problems so the
+	// steady-state iteration allocates nothing here.
+	upd            []rowUpdate   // diagRowUpdates backing store
+	base           linalg.Vector // baseVector backing store
+	factor         linalg.Vector // factorVector backing store
+	dx, dy, dw, dz linalg.Vector // split backing stores
 }
 
 // Column offsets within the extended variable vector.
@@ -57,8 +65,20 @@ func (e *extended) rowR7(i int) int { return 3*e.m + 3*e.n + i }
 // newExtended builds the extended matrix for problem p with the initial
 // interior point (x, y, w, z).
 func newExtended(p *lp.Problem, x, y, w, z linalg.Vector) (*extended, error) {
+	return newExtendedInto(nil, p, x, y, w, z)
+}
+
+// newExtendedInto is newExtended with storage reuse: when prev was built for
+// a problem of the same shape, its matrix and scratch buffers are recycled
+// (the sign pattern of A — and hence q — is recomputed from scratch, so only
+// same-sized extended systems actually share the matrix). Pass nil to
+// allocate fresh. The returned *extended is prev when reuse succeeded.
+func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*extended, error) {
 	n, m := p.NumVariables(), p.NumConstraints()
-	e := &extended{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m)}
+	e := prev
+	if e == nil || e.n != n || e.m != m {
+		e = &extended{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m)}
+	}
 
 	// Assign Δp slots: one per column of A with a negative entry (mirrors
 	// −Δx_j) and one per row of A with a negative entry (mirrors −Δy_k,
@@ -85,8 +105,15 @@ func newExtended(p *lp.Problem, x, y, w, z linalg.Vector) (*extended, error) {
 		}
 	}
 	e.q = q
-	e.size = 3*n + 3*m + q
-	e.matrix = linalg.NewMatrix(e.size, e.size)
+	size := 3*n + 3*m + q
+	if e.matrix == nil || e.size != size {
+		e.size = size
+		e.matrix = linalg.NewMatrix(size, size)
+		e.upd, e.base, e.factor = nil, nil, nil
+		e.dx, e.dy, e.dw, e.dz = nil, nil, nil, nil
+	} else {
+		e.matrix.Zero()
+	}
 
 	mtx := e.matrix
 	// r1: A′ on Δx, |negatives| on Δp, I on Δw.
@@ -168,22 +195,31 @@ func (e *extended) fillDiagRows(x, y, w, z linalg.Vector) {
 
 // diagRowUpdates returns, for the current (x, y, w, z), the list of row
 // indices and their new contents — the O(N) per-iteration coefficient
-// refresh (2.7N cells for n = m/3, as §4.4 counts).
+// refresh (2.7N cells for n = m/3, as §4.4 counts). The returned slice and
+// its row vectors are scratch storage owned by e, overwritten by the next
+// call: each update row has exactly two live cells at fixed positions, so
+// after the first allocation only those cells are rewritten.
 func (e *extended) diagRowUpdates(x, y, w, z linalg.Vector) []rowUpdate {
-	updates := make([]rowUpdate, 0, e.n+e.m)
+	if e.upd == nil {
+		e.upd = make([]rowUpdate, 0, e.n+e.m)
+		for i := 0; i < e.n; i++ {
+			e.upd = append(e.upd, rowUpdate{index: e.rowR3(i), row: linalg.NewVector(e.size)})
+		}
+		for i := 0; i < e.m; i++ {
+			e.upd = append(e.upd, rowUpdate{index: e.rowR4(i), row: linalg.NewVector(e.size)})
+		}
+	}
 	for i := 0; i < e.n; i++ {
-		row := linalg.NewVector(e.size)
+		row := e.upd[i].row
 		row[e.colX(i)] = z[i]
 		row[e.colZ(i)] = x[i]
-		updates = append(updates, rowUpdate{index: e.rowR3(i), row: row})
 	}
 	for i := 0; i < e.m; i++ {
-		row := linalg.NewVector(e.size)
+		row := e.upd[e.n+i].row
 		row[e.colY(i)] = w[i]
 		row[e.colW(i)] = y[i]
-		updates = append(updates, rowUpdate{index: e.rowR4(i), row: row})
 	}
-	return updates
+	return e.upd
 }
 
 type rowUpdate struct {
@@ -221,8 +257,13 @@ func (e *extended) stateVector(x, y, w, z linalg.Vector) linalg.Vector {
 // baseVector assembles the static reference of Eq. 15a,
 // [b; c; µ1; µ1; 0; 0; 0], which the summing amplifiers subtract the analog
 // product from. Only the µ entries change between iterations.
+// The returned vector is scratch storage owned by e, overwritten by the
+// next call; every entry is refilled, so reuse across problems is safe.
 func (e *extended) baseVector(p *lp.Problem, mu float64) linalg.Vector {
-	base := linalg.NewVector(e.size)
+	if e.base == nil {
+		e.base = linalg.NewVector(e.size)
+	}
+	base := e.base
 	for i := 0; i < e.m; i++ {
 		base[e.rowR1(i)] = p.B[i]
 	}
@@ -242,6 +283,9 @@ func (e *extended) baseVector(p *lp.Problem, mu float64) linalg.Vector {
 // arrive as 2XZe and 2YWe and are halved by a resistive divider before the
 // subtraction; all other rows pass through unchanged.
 func (e *extended) factorVector() linalg.Vector {
+	if e.factor != nil {
+		return e.factor
+	}
 	f := linalg.NewVector(e.size)
 	f.Fill(1)
 	for i := 0; i < e.n; i++ {
@@ -250,14 +294,23 @@ func (e *extended) factorVector() linalg.Vector {
 	for i := 0; i < e.m; i++ {
 		f[e.rowR4(i)] = 0.5
 	}
+	e.factor = f
 	return f
 }
 
-// split extracts (Δx, Δy, Δw, Δz) from the extended solution vector.
+// split extracts (Δx, Δy, Δw, Δz) from the extended solution vector. The
+// returned vectors are scratch storage owned by e, overwritten by the next
+// call.
 func (e *extended) split(ds linalg.Vector) (dx, dy, dw, dz linalg.Vector) {
-	dx = ds[0:e.n].Clone()
-	dy = ds[e.n : e.n+e.m].Clone()
-	dw = ds[e.n+e.m : e.n+2*e.m].Clone()
-	dz = ds[e.n+2*e.m : 2*e.n+2*e.m].Clone()
-	return dx, dy, dw, dz
+	if e.dx == nil {
+		e.dx = linalg.NewVector(e.n)
+		e.dy = linalg.NewVector(e.m)
+		e.dw = linalg.NewVector(e.m)
+		e.dz = linalg.NewVector(e.n)
+	}
+	copy(e.dx, ds[0:e.n])
+	copy(e.dy, ds[e.n:e.n+e.m])
+	copy(e.dw, ds[e.n+e.m:e.n+2*e.m])
+	copy(e.dz, ds[e.n+2*e.m:2*e.n+2*e.m])
+	return e.dx, e.dy, e.dw, e.dz
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
@@ -42,6 +45,20 @@ import (
 // so reprogramming and solving again usually recovers.
 type LargeScaleSolver struct {
 	opts Options
+
+	// Persistent per-handle state: the two fabrics and the M1/M2 mirrors
+	// survive across solves so same-shaped problems pay no rebuild cost.
+	// (Each solve still re-Programs the arrays, which redraws variation —
+	// the double-checking scheme's fresh-write semantics are preserved.)
+	// A LargeScaleSolver is safe for concurrent use; solves serialize on mu.
+	mu       sync.Mutex
+	sys      *lsSystem
+	m2       *linalg.Matrix
+	fab1     Fabric
+	fab1Size int
+	fab2     Fabric
+	fab2Size int
+	diagRow  linalg.Vector
 }
 
 // NewLargeScaleSolver returns an Algorithm 2 solver.
@@ -56,24 +73,44 @@ func NewLargeScaleSolver(opts Options) (*LargeScaleSolver, error) {
 // Solve runs Algorithm 2 on p, retrying up to MaxResolves times when a solve
 // fails to converge.
 func (s *LargeScaleSolver) Solve(p *lp.Problem) (*Result, error) {
+	return s.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs Algorithm 2 on p, honoring cancellation and deadlines:
+// the context is checked once per iteration and between re-solve attempts.
+// An interrupted solve returns its partial iterate with lp.StatusCanceled
+// alongside the wrapped context error.
+func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var last *Result
 	var counters crossbar.Counters
 	for attempt := 0; attempt <= s.opts.MaxResolves; attempt++ {
-		res, err := s.solveOnce(p)
+		res, ctxErr, err := s.solveOnce(ctx, p)
 		if err != nil {
 			return nil, err
 		}
 		res.Resolves = attempt
 		counters = counters.Add(res.Counters)
 		res.Counters = counters
+		res.WallTime = time.Since(start)
+		if ctxErr != nil {
+			return res, ctxErr
+		}
 		switch res.Status {
 		case lp.StatusOptimal, lp.StatusInfeasible, lp.StatusUnbounded:
 			return res, nil
 		}
 		last = res
+		// Double-checking (§4.3): a failed attempt retries on freshly built
+		// fabrics, so a fault in the array itself cannot persist across
+		// attempts. Successful solves keep reusing the cached fabrics.
+		s.fab1, s.fab2 = nil, nil
+		s.fab1Size, s.fab2Size = 0, 0
 	}
 	return last, nil
 }
@@ -101,8 +138,19 @@ func (l *lsSystem) rowP(k int) int  { return l.m + l.n + k }
 
 // newLSSystem builds M1 at the initial interior point (x, y, w, z).
 func newLSSystem(p *lp.Problem, regularization float64, literal bool, x, y, w, z linalg.Vector) (*lsSystem, error) {
+	return newLSSystemInto(nil, p, regularization, literal, x, y, w, z)
+}
+
+// newLSSystemInto is newLSSystem with storage reuse: when prev was built for
+// a same-shaped problem its matrix and index slices are recycled. Pass nil
+// to allocate fresh.
+func newLSSystemInto(prev *lsSystem, p *lp.Problem, regularization float64, literal bool, x, y, w, z linalg.Vector) (*lsSystem, error) {
 	n, m := p.NumVariables(), p.NumConstraints()
-	l := &lsSystem{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m), literal: literal}
+	l := prev
+	if l == nil || l.n != n || l.m != m {
+		l = &lsSystem{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m)}
+	}
+	l.literal = literal
 
 	q := 0
 	for j := 0; j < n; j++ {
@@ -122,8 +170,13 @@ func newLSSystem(p *lp.Problem, regularization float64, literal bool, x, y, w, z
 		q++
 	}
 	l.q = q
-	l.size = n + m + q
-	l.matrix = linalg.NewMatrix(l.size, l.size)
+	size := n + m + q
+	if l.matrix == nil || l.size != size {
+		l.size = size
+		l.matrix = linalg.NewMatrix(size, size)
+	} else {
+		l.matrix.Zero()
+	}
 
 	var sum float64
 	for i := 0; i < m; i++ {
@@ -264,7 +317,11 @@ func (l *lsSystem) stateVector(x, y linalg.Vector) linalg.Vector {
 	return s
 }
 
-func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
+// solveOnce runs one Algorithm 2 attempt. It returns (result, ctxErr, err):
+// ctxErr is non-nil when the attempt was interrupted by the context (the
+// result then carries the partial iterate with lp.StatusCanceled); err is a
+// hard failure with no usable result. Callers must hold s.mu.
+func (s *LargeScaleSolver) solveOnce(ctx context.Context, p *lp.Problem) (*Result, error, error) {
 	n, m := p.NumVariables(), p.NumConstraints()
 	tol := s.opts.Tol
 	theta := s.opts.ConstantStep
@@ -278,24 +335,40 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 	w := onesVector(m)
 	z := onesVector(n)
 
-	sys1, err := newLSSystem(p, s.opts.Regularization, s.opts.LiteralFillers, x, y, w, z)
+	sys1, err := newLSSystemInto(s.sys, p, s.opts.Regularization, s.opts.LiteralFillers, x, y, w, z)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	fab1, err := s.opts.Fabric(sys1.size)
-	if err != nil {
-		return nil, fmt.Errorf("core: building fabric 1: %w", err)
+	s.sys = sys1
+	if s.fab1 == nil || s.fab1Size != sys1.size {
+		fab, err := s.opts.Fabric(sys1.size)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building fabric 1: %w", err)
+		}
+		s.fab1, s.fab1Size = fab, sys1.size
 	}
+	fab1 := s.fab1
+	countersBase1 := fab1.Counters()
 	if err := fab1.Program(sys1.matrix); err != nil {
-		return nil, fmt.Errorf("core: programming M1: %w", err)
+		return nil, nil, fmt.Errorf("core: programming M1: %w", err)
 	}
 
 	// M2 = diag(X, Y): columns [Δz | Δw].
-	fab2, err := s.opts.Fabric(n + m)
-	if err != nil {
-		return nil, fmt.Errorf("core: building fabric 2: %w", err)
+	if s.fab2 == nil || s.fab2Size != n+m {
+		fab, err := s.opts.Fabric(n + m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building fabric 2: %w", err)
+		}
+		s.fab2, s.fab2Size = fab, n+m
 	}
-	m2 := linalg.NewMatrix(n+m, n+m)
+	fab2 := s.fab2
+	countersBase2 := fab2.Counters()
+	if s.m2 == nil || s.m2.Rows() != n+m {
+		s.m2 = linalg.NewMatrix(n+m, n+m)
+	} else {
+		s.m2.Zero()
+	}
+	m2 := s.m2
 	for i := 0; i < n; i++ {
 		m2.Set(i, i, x[i])
 	}
@@ -303,7 +376,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 		m2.Set(n+i, n+i, y[i])
 	}
 	if err := fab2.Program(m2); err != nil {
-		return nil, fmt.Errorf("core: programming M2: %w", err)
+		return nil, nil, fmt.Errorf("core: programming M2: %w", err)
 	}
 
 	// Persistent extended state for system 1 (mirrors evolve with the
@@ -320,8 +393,14 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 	// The constant-θ split iteration converges more gradually than
 	// Algorithm 1's damped Newton, so it gets twice the stall patience.
 	stallWindow := 2 * s.opts.StallWindow
+	var ctxErr error
 
 	for iter := 1; iter <= tol.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.Status = lp.StatusCanceled
+			ctxErr = fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+			break
+		}
 		res.Iterations = iter
 
 		gap := dualityGap(x, z, y, w)
@@ -342,7 +421,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 		}
 		r1, err := fab1.MatVecResidual(base1, s1, nil)
 		if err != nil {
-			return nil, fmt.Errorf("core: M1 residual: %w", err)
+			return nil, nil, fmt.Errorf("core: M1 residual: %w", err)
 		}
 
 		// Measured residuals for the stopping rule (O(N) digital fix-ups):
@@ -407,7 +486,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 				res.Status = lp.StatusNumericalFailure
 				break
 			}
-			return nil, fmt.Errorf("core: M1 analog solve: %w", err)
+			return nil, nil, fmt.Errorf("core: M1 analog solve: %w", err)
 		}
 		if !ds1.AllFinite() {
 			res.Status = lp.StatusNumericalFailure
@@ -431,7 +510,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 			theta1 = lim
 		}
 		if err := s1.AxpyInPlace(theta1, ds1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		clampPositive(x, y)
 
@@ -442,8 +521,8 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 		for i := 0; i < m; i++ {
 			m2.Set(n+i, n+i, y[i])
 		}
-		if err := reprogramDiag(fab2, m2, n+m); err != nil {
-			return nil, err
+		if err := reprogramDiag(fab2, m2, n+m, &s.diagRow); err != nil {
+			return nil, nil, err
 		}
 		s2 := linalg.Concat(z, w)
 		// r2 = [µ1 − XZe − Z∘Δx; µ1 − YWe − W∘Δy]: the cross terms restore
@@ -459,7 +538,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 		}
 		r2, err := fab2.MatVecResidual(base2, s2, nil)
 		if err != nil {
-			return nil, fmt.Errorf("core: M2 residual: %w", err)
+			return nil, nil, fmt.Errorf("core: M2 residual: %w", err)
 		}
 		ds2, err := fab2.Solve(r2)
 		if err != nil {
@@ -467,7 +546,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 				res.Status = lp.StatusNumericalFailure
 				break
 			}
-			return nil, fmt.Errorf("core: M2 analog solve: %w", err)
+			return nil, nil, fmt.Errorf("core: M2 analog solve: %w", err)
 		}
 		if !ds2.AllFinite() {
 			res.Status = lp.StatusNumericalFailure
@@ -486,7 +565,7 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 		// Refresh the coupling diagonals for the next iteration: one cell
 		// per row, O(N) writes.
 		if err := sys1.couplingUpdates(fab1, x, y, w, z); err != nil {
-			return nil, fmt.Errorf("core: updating M1 couplings: %w", err)
+			return nil, nil, fmt.Errorf("core: updating M1 couplings: %w", err)
 		}
 	}
 
@@ -503,17 +582,17 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 	unscaleDual(res.Y, res.W, rowScales)
 	obj, err := orig.Objective(res.X)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Objective = obj
-	res.Counters = fab1.Counters().Add(fab2.Counters())
+	res.Counters = fab1.Counters().Sub(countersBase1).Add(fab2.Counters().Sub(countersBase2))
 
 	// A budget-limited run that still passes the α-check is an acceptable
 	// answer: the analog accuracy floor, not the budget, set its quality.
 	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
 		ok, err := orig.IsFeasible(res.X, s.opts.Alpha-1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok {
 			res.Status = classifyRejected(finalX, finalY, finalW, finalZ)
@@ -521,16 +600,23 @@ func (s *LargeScaleSolver) solveOnce(p *lp.Problem) (*Result, error) {
 			res.Status = lp.StatusOptimal
 		}
 	}
-	return res, nil
+	return res, ctxErr, nil
 }
 
 // reprogramDiag refreshes the diagonal rows of M2 on the fabric; each row
-// holds exactly one cell, so this is the O(N) coefficient update.
-func reprogramDiag(fab Fabric, m2 *linalg.Matrix, size int) error {
+// holds exactly one cell, so this is the O(N) coefficient update. scratch is
+// a caller-owned row buffer, reused (and kept all-zero between cells) to
+// avoid allocating size vectors per iteration.
+func reprogramDiag(fab Fabric, m2 *linalg.Matrix, size int, scratch *linalg.Vector) error {
+	if cap(*scratch) < size {
+		*scratch = linalg.NewVector(size)
+	}
+	row := (*scratch)[:size]
 	for i := 0; i < size; i++ {
-		row := linalg.NewVector(size)
 		row[i] = m2.At(i, i)
-		if err := fab.UpdateRow(i, row); err != nil {
+		err := fab.UpdateRow(i, row)
+		row[i] = 0
+		if err != nil {
 			if errors.Is(err, crossbar.ErrTooLarge) {
 				if err := fab.Program(m2); err != nil {
 					return fmt.Errorf("core: reprogramming M2: %w", err)

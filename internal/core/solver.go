@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
@@ -117,17 +120,32 @@ type Result struct {
 	DualInfeasibility   float64
 	DualityGap          float64
 
-	// Counters aggregates the fabric's physical operation counts.
+	// Counters aggregates the fabric's physical operation counts for THIS
+	// solve (per-solve marginal when the fabric persists across solves).
 	Counters crossbar.Counters
 	// MatrixSize is the extended system dimension programmed on the fabric.
 	MatrixSize int
 	// Resolves counts Algorithm 2 re-solve attempts that were consumed.
 	Resolves int
+	// WallTime is the wall-clock duration of this individual solve.
+	WallTime time.Duration
 }
 
 // Solver is Algorithm 1: the memristor crossbar-based linear program solver.
+// A Solver is safe for concurrent use; solves are serialized on the single
+// simulated fabric, which persists across calls so that same-sized problems
+// reuse the programmed array and all iteration workspaces.
 type Solver struct {
 	opts Options
+
+	mu      sync.Mutex
+	ext     *extended
+	fab     Fabric
+	fabSize int
+	// initBuf backs the all-ones starting iterate (x, y, w, z are sliced
+	// from it before being copied into the extended state vector), reused
+	// across solves under mu.
+	initBuf linalg.Vector
 }
 
 // NewSolver returns an Algorithm 1 solver.
@@ -139,27 +157,60 @@ func NewSolver(opts Options) (*Solver, error) {
 	return &Solver{opts: opts}, nil
 }
 
-// Solve runs Algorithm 1 on p.
-func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// fabric returns the cached analog substrate for the given extended-system
+// size, building one on first use or when the size changes. Callers must
+// hold s.mu.
+func (s *Solver) fabric(size int) (Fabric, error) {
+	if s.fab != nil && s.fabSize == size {
+		return s.fab, nil
 	}
-	n, m := p.NumVariables(), p.NumConstraints()
-	tol := s.opts.Tol
-
-	x := onesVector(n)
-	y := onesVector(m)
-	w := onesVector(m)
-	z := onesVector(n)
-
-	ext, err := newExtended(p, x, y, w, z)
-	if err != nil {
-		return nil, err
-	}
-	fab, err := s.opts.Fabric(ext.size)
+	fab, err := s.opts.Fabric(size)
 	if err != nil {
 		return nil, fmt.Errorf("core: building fabric: %w", err)
 	}
+	s.fab, s.fabSize = fab, size
+	return fab, nil
+}
+
+// Solve runs Algorithm 1 on p.
+func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
+	return s.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs Algorithm 1 on p, honoring cancellation and deadlines:
+// the context is checked once per iteration, and an interrupted solve
+// returns its partial iterate with lp.StatusCanceled alongside the wrapped
+// context error.
+func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, m := p.NumVariables(), p.NumConstraints()
+	tol := s.opts.Tol
+
+	if cap(s.initBuf) < 2*(n+m) {
+		s.initBuf = linalg.NewVector(2 * (n + m))
+	}
+	s.initBuf = s.initBuf[:2*(n+m)]
+	s.initBuf.Fill(1)
+	x := s.initBuf[0:n]
+	y := s.initBuf[n : n+m]
+	w := s.initBuf[n+m : n+2*m]
+	z := s.initBuf[n+2*m:]
+
+	ext, err := newExtendedInto(s.ext, p, x, y, w, z)
+	if err != nil {
+		return nil, err
+	}
+	s.ext = ext
+	fab, err := s.fabric(ext.size)
+	if err != nil {
+		return nil, err
+	}
+	countersBase := fab.Counters()
 	if err := fab.Program(ext.matrix); err != nil {
 		return nil, fmt.Errorf("core: programming fabric: %w", err)
 	}
@@ -185,8 +236,14 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 	// accuracy floor the analog noise can push later iterates away from
 	// feasibility again.
 	best := snapshot{score: infNaN()}
+	var ctxErr error
 
 	for iter := 1; iter <= tol.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.Status = lp.StatusCanceled
+			ctxErr = fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+			break
+		}
 		res.Iterations = iter
 
 		// The duality gap zᵀx + yᵀw is computed digitally (the controller
@@ -318,7 +375,7 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 		return nil, err
 	}
 	res.Objective = obj
-	res.Counters = fab.Counters()
+	res.Counters = fab.Counters().Sub(countersBase)
 
 	// Robust feasibility detection (§3.2): accept the converged point only
 	// if A·x ≤ α·b; variation can distort the realized constraints, so α is
@@ -336,7 +393,8 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 			res.Status = lp.StatusOptimal
 		}
 	}
-	return res, nil
+	res.WallTime = time.Since(start)
+	return res, ctxErr
 }
 
 // snapshot keeps the best iterate seen, scored by the worst of the measured
@@ -360,7 +418,12 @@ func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
 	}
 	s.score = score
 	s.pinf, s.dinf, s.gap = pinf, dinf, gap
-	s.x, s.y, s.w, s.z = x.Clone(), y.Clone(), w.Clone(), z.Clone()
+	// Copy into retained buffers (append reuses capacity across iterations
+	// and solves, so steady-state snapshots allocate nothing).
+	s.x = append(s.x[:0], x...)
+	s.y = append(s.y[:0], y...)
+	s.w = append(s.w[:0], w...)
+	s.z = append(s.z[:0], z...)
 }
 
 func (s *snapshot) valid() bool { return s.x != nil }

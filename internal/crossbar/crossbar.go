@@ -169,6 +169,19 @@ func (c Counters) Add(o Counters) Counters {
 	}
 }
 
+// Sub returns the element-wise difference c − o. It marginalizes cumulative
+// counters: snapshotting before a solve and subtracting afterwards yields the
+// counts attributable to that solve alone, which is how persistent Solver
+// handles report per-solve hardware cost.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		CellWrites:    c.CellWrites - o.CellWrites,
+		MatVecOps:     c.MatVecOps - o.MatVecOps,
+		SolveOps:      c.SolveOps - o.SolveOps,
+		IOConversions: c.IOConversions - o.IOConversions,
+	}
+}
+
 // Crossbar is one simulated memristor array programmed with a non-negative
 // matrix. It is not safe for concurrent use.
 type Crossbar struct {
@@ -193,6 +206,30 @@ type Crossbar struct {
 	progTarget *linalg.Matrix
 
 	counters Counters
+
+	// Per-method scratch buffers so steady-state operation allocates
+	// nothing: result vectors are crossbar-owned storage, valid until the
+	// next call of the SAME method on this array. Buffers are never shared
+	// across methods: MatVecResidual's result is routinely fed straight into
+	// Solve, so the two must not overwrite each other's storage.
+	analogIn linalg.Vector              // toAnalog normalized input
+	mvVO     linalg.Vector              // MatVec analog outputs
+	mvOut    linalg.Vector              // MatVec returned result
+	resVI    linalg.Vector              // MatVecResidual quantized input
+	resOut   linalg.Vector              // MatVecResidual returned result
+	solveNet *linalg.Matrix             // Solve IR-drop-adjusted network view
+	solveVO  linalg.Vector              // Solve forced bitline voltages
+	solveOut linalg.Vector              // Solve returned result
+	solveWS  linalg.StructuredWorkspace // Solve network settle scratch
+}
+
+// scratchVec returns *buf resized to n, allocating only on growth.
+func scratchVec(buf *linalg.Vector, n int) linalg.Vector {
+	if cap(*buf) < n {
+		*buf = make(linalg.Vector, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // New returns an unprogrammed crossbar.
@@ -265,14 +302,27 @@ func (x *Crossbar) Program(a *linalg.Matrix) error {
 		return fmt.Errorf("%w: matrix has non-finite elements", ErrBadConfig)
 	}
 
+	sameShape := x.target != nil && x.rows == a.Rows() && x.cols == a.Cols()
 	x.rows, x.cols = a.Rows(), a.Cols()
-	x.rowScale = make([]float64, x.rows)
-	x.target = linalg.NewMatrix(x.rows, x.cols)
-	x.gt = linalg.NewMatrix(x.rows, x.cols)
-	x.progTarget = linalg.NewMatrix(x.rows, x.cols)
-	// Draw each device's static variation factor once: geometry variation
-	// persists across rewrites of the same cell.
-	x.deviceFactor = linalg.NewMatrix(x.rows, x.cols)
+	if sameShape {
+		// Reuse the mapping buffers, but clear both the realized
+		// conductances and the program-and-verify cache: stale gt entries
+		// (old variation draws, old non-zero cells) must not survive into
+		// the new matrix, and a zeroed progTarget makes writeRow treat every
+		// non-zero target as a fresh write, exactly as on first Program.
+		x.gt.Zero()
+		x.progTarget.Zero()
+	} else {
+		x.rowScale = make([]float64, x.rows)
+		x.target = linalg.NewMatrix(x.rows, x.cols)
+		x.gt = linalg.NewMatrix(x.rows, x.cols)
+		x.progTarget = linalg.NewMatrix(x.rows, x.cols)
+		x.deviceFactor = linalg.NewMatrix(x.rows, x.cols)
+	}
+	// Draw each device's static variation factor once per Program: geometry
+	// variation persists across rewrites of the same cell, while a full
+	// re-Program models a fresh array (Algorithm 2's double-checking relies
+	// on independent variation draws between attempts).
 	for i := 0; i < x.rows; i++ {
 		for j := 0; j < x.cols; j++ {
 			f := 1.0
@@ -283,7 +333,7 @@ func (x *Crossbar) Program(a *linalg.Matrix) error {
 		}
 	}
 	for i := 0; i < x.rows; i++ {
-		x.setTargetRow(i, a.Row(i))
+		x.setTargetRow(i, linalg.Vector(a.RawRow(i)))
 		x.writeRow(i)
 	}
 	return nil
@@ -456,7 +506,8 @@ func (x *Crossbar) effG(i, j int, g float64) float64 {
 // quantization of the inputs, the physical network transfer (with the
 // actually-programmed, variation-perturbed conductances), and ADC
 // quantization of the outputs. The digital rescale by Scale() is applied
-// before returning.
+// before returning. The result is crossbar-owned scratch storage, valid
+// until the next MatVec call on this array.
 func (x *Crossbar) MatVec(v linalg.Vector) (linalg.Vector, error) {
 	if x.target == nil {
 		return nil, ErrNotProgrammed
@@ -469,7 +520,7 @@ func (x *Crossbar) MatVec(v linalg.Vector) (linalg.Vector, error) {
 		return nil, err
 	}
 	gs := x.cfg.SenseConductance
-	vo := linalg.NewVector(x.rows)
+	vo := scratchVec(&x.mvVO, x.rows)
 	for i := 0; i < x.rows; i++ {
 		grow := x.gt.RawRow(i)
 		var num, s float64
@@ -480,7 +531,7 @@ func (x *Crossbar) MatVec(v linalg.Vector) (linalg.Vector, error) {
 		}
 		vo[i] = num / (gs + s)
 	}
-	out, err := x.fromAnalog(vo)
+	out, err := x.fromAnalog(vo, &x.mvOut)
 	if err != nil {
 		return nil, err
 	}
@@ -501,6 +552,8 @@ func (x *Crossbar) MatVec(v linalg.Vector) (linalg.Vector, error) {
 // optional per-row analog divider (the divide-by-2 of Eq. 15); nil means
 // all ones. Inputs are digitized per-element (stable power-of-two grids, no
 // per-call renormalization), which keeps the iteration noise deterministic.
+// The result is crossbar-owned scratch storage, valid until the next
+// MatVecResidual call on this array.
 func (x *Crossbar) MatVecResidual(base, v, factor linalg.Vector) (linalg.Vector, error) {
 	if x.target == nil {
 		return nil, ErrNotProgrammed
@@ -514,13 +567,14 @@ func (x *Crossbar) MatVecResidual(base, v, factor linalg.Vector) (linalg.Vector,
 	if factor != nil && len(factor) != x.rows {
 		return nil, fmt.Errorf("%w: factor %d for %d rows", linalg.ErrDimensionMismatch, len(factor), x.rows)
 	}
-	vi := v.Clone()
+	vi := scratchVec(&x.resVI, len(v))
+	copy(vi, v)
 	if err := x.quantizeIO(vi); err != nil {
 		return nil, err
 	}
 	x.counters.IOConversions += int64(len(vi))
 	gs := x.cfg.SenseConductance
-	out := linalg.NewVector(x.rows)
+	out := scratchVec(&x.resOut, x.rows)
 	for i := 0; i < x.rows; i++ {
 		grow := x.gt.RawRow(i)
 		var num, srow float64
@@ -548,7 +602,8 @@ func (x *Crossbar) MatVecResidual(base, v, factor linalg.Vector) (linalg.Vector,
 // matrix must be square. The simulation solves the physical network equation
 // Gᵀ·VI = gs·VO with the actually-programmed conductances; an (analog)
 // failure to settle — a singular conductance network — is reported as
-// ErrSingular.
+// ErrSingular. The result is crossbar-owned scratch storage, valid until the
+// next Solve call on this array.
 func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 	if x.target == nil {
 		return nil, ErrNotProgrammed
@@ -571,7 +626,10 @@ func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 	gs := x.cfg.SenseConductance
 	net := x.gt
 	if x.cfg.WireResistance > 0 {
-		net = linalg.NewMatrix(x.rows, x.cols)
+		if x.solveNet == nil || x.solveNet.Rows() != x.rows || x.solveNet.Cols() != x.cols {
+			x.solveNet = linalg.NewMatrix(x.rows, x.cols)
+		}
+		net = x.solveNet
 		for i := 0; i < x.rows; i++ {
 			grow := x.gt.RawRow(i)
 			nrow := net.RawRow(i)
@@ -580,7 +638,7 @@ func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 			}
 		}
 	}
-	vo := linalg.NewVector(len(b))
+	vo := scratchVec(&x.solveVO, len(b))
 	for i := range b {
 		var srow float64
 		for _, g := range net.RawRow(i) {
@@ -592,18 +650,20 @@ func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	rhs := voq.Scale(gs)
-	// SolveStructured computes the same settle point as a dense solve but
-	// exploits the sparsity of the programmed network; the analog hardware
-	// cost model is unaffected (one settle either way).
-	vi, err := linalg.SolveStructured(net, rhs)
+	for i := range voq {
+		voq[i] *= gs
+	}
+	// The structured solve computes the same settle point as a dense solve
+	// but exploits the sparsity of the programmed network; the analog
+	// hardware cost model is unaffected (one settle either way).
+	vi, err := x.solveWS.Solve(net, voq)
 	if err != nil {
 		if errors.Is(err, linalg.ErrSingular) {
 			return nil, fmt.Errorf("%w: %v", ErrSingular, err)
 		}
 		return nil, err
 	}
-	out, err := x.fromAnalog(vi)
+	out, err := x.fromAnalog(vi, &x.solveOut)
 	if err != nil {
 		return nil, err
 	}
@@ -652,12 +712,17 @@ func (x *Crossbar) SolveEffectiveMatrix() (*linalg.Matrix, error) {
 // toAnalog normalizes v to the DAC full-scale range [-1, 1], quantizes it,
 // and returns the quantized vector together with the normalization factor
 // (result = v/inScale before quantization).
+// The returned vector is scratch storage owned by the crossbar, overwritten
+// by the next toAnalog call.
 func (x *Crossbar) toAnalog(v linalg.Vector) (linalg.Vector, float64, error) {
 	inScale := v.NormInf()
 	if inScale == 0 {
 		inScale = 1
 	}
-	out := v.Scale(1 / inScale)
+	out := scratchVec(&x.analogIn, len(v))
+	for i, e := range v {
+		out[i] = e / inScale
+	}
 	if err := x.quantizeIO(out); err != nil {
 		return nil, 0, err
 	}
@@ -665,10 +730,12 @@ func (x *Crossbar) toAnalog(v linalg.Vector) (linalg.Vector, float64, error) {
 	return out, inScale, nil
 }
 
-// fromAnalog models the ADC stage on the analog result vector.
-func (x *Crossbar) fromAnalog(v linalg.Vector) (linalg.Vector, error) {
+// fromAnalog models the ADC stage on the analog result vector, writing the
+// digitized copy into the given caller-owned scratch buffer.
+func (x *Crossbar) fromAnalog(v linalg.Vector, scratch *linalg.Vector) (linalg.Vector, error) {
 	x.counters.IOConversions += int64(len(v))
-	out := v.Clone()
+	out := scratchVec(scratch, len(v))
+	copy(out, v)
 	if err := x.quantizeIO(out); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"github.com/memlp/memlp/internal/core"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/pdip"
+	"github.com/memlp/memlp/internal/simplex"
+)
+
+// Crossbar adapts core.Solver (Algorithm 1) to the Backend contract. It also
+// implements BatchBackend: the shared extended system is programmed once and
+// each batch member pays only the O(N)-per-iteration coefficient refresh.
+type Crossbar struct{ S *core.Solver }
+
+// Name implements Backend.
+func (b Crossbar) Name() string { return "crossbar" }
+
+// Solve implements Backend.
+func (b Crossbar) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return fromCore(res), err
+}
+
+// SolveBatch implements BatchBackend.
+func (b Crossbar) SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Result, error) {
+	results, err := b.S.SolveBatchContext(ctx, problems)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(results))
+	for i, res := range results {
+		out[i] = fromCore(res)
+	}
+	return out, nil
+}
+
+// CrossbarLargeScale adapts core.LargeScaleSolver (Algorithm 2).
+type CrossbarLargeScale struct{ S *core.LargeScaleSolver }
+
+// Name implements Backend.
+func (b CrossbarLargeScale) Name() string { return "crossbar-large-scale" }
+
+// Solve implements Backend.
+func (b CrossbarLargeScale) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return fromCore(res), err
+}
+
+func fromCore(res *core.Result) *Result {
+	return &Result{
+		Status:              res.Status,
+		X:                   res.X,
+		Y:                   res.Y,
+		Objective:           res.Objective,
+		Iterations:          res.Iterations,
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+		WallTime:            res.WallTime,
+		Analog:              true,
+		Counters:            res.Counters,
+		MatrixSize:          res.MatrixSize,
+		Resolves:            res.Resolves,
+	}
+}
+
+// PDIP adapts pdip.Solver (full or reduced Newton backend).
+type PDIP struct {
+	S *pdip.Solver
+	// BackendName distinguishes "pdip" from "pdip-reduced" in telemetry.
+	BackendName string
+}
+
+// Name implements Backend.
+func (b PDIP) Name() string { return b.BackendName }
+
+// Solve implements Backend.
+func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	start := time.Now()
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{
+		Status:              res.Status,
+		X:                   res.X,
+		Y:                   res.Y,
+		Objective:           res.Objective,
+		Iterations:          res.Iterations,
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+		WallTime:            time.Since(start),
+	}, err
+}
+
+// Simplex adapts simplex.Solver.
+type Simplex struct{ S *simplex.Solver }
+
+// Name implements Backend.
+func (b Simplex) Name() string { return "simplex" }
+
+// Solve implements Backend.
+func (b Simplex) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	start := time.Now()
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{
+		Status:    res.Status,
+		X:         res.X,
+		Objective: res.Objective,
+		Pivots:    res.Pivots,
+		WallTime:  time.Since(start),
+	}, err
+}

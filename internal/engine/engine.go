@@ -1,0 +1,67 @@
+// Package engine defines the backend contract the public memlp.Solver
+// handle dispatches to. Each solver implementation — the crossbar engines of
+// Algorithms 1 and 2, the software PDIP baselines, and two-phase simplex —
+// is wrapped in a Backend so the public layer holds exactly one code path
+// for solving, timing, cancellation, and telemetry, instead of a per-engine
+// switch.
+package engine
+
+import (
+	"context"
+	"time"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/lp"
+)
+
+// Result is the engine-neutral solve outcome. Analog-only fields (Counters,
+// MatrixSize, Resolves) are zero for software engines; Pivots is zero for
+// PDIP-family engines.
+type Result struct {
+	Status     lp.Status
+	X, Y       linalg.Vector
+	Objective  float64
+	Iterations int
+	Pivots     int
+
+	PrimalInfeasibility float64
+	DualInfeasibility   float64
+	DualityGap          float64
+
+	// WallTime is the measured duration of this individual solve.
+	WallTime time.Duration
+
+	// Analog reports whether the backend simulates crossbar hardware, i.e.
+	// whether Counters/MatrixSize/Resolves are meaningful.
+	Analog     bool
+	Counters   crossbar.Counters
+	MatrixSize int
+	Resolves   int
+}
+
+// Backend is one solver engine behind a memlp.Solver handle. Implementations
+// are safe for concurrent use (they serialize internally) and keep their
+// iteration workspaces and simulated fabrics across calls, so repeated
+// same-shape solves avoid reallocation and reprogramming.
+//
+// Solve honors ctx: an interrupted solve returns a Result with
+// lp.StatusCanceled together with the wrapped context error (both non-nil),
+// while hard failures return a nil Result.
+type Backend interface {
+	// Name identifies the engine (matches memlp.Engine.String()).
+	Name() string
+	Solve(ctx context.Context, p *lp.Problem) (*Result, error)
+}
+
+// BatchBackend is implemented by backends that can amortize the one-time
+// fabric programming across a sequence of problems sharing one constraint
+// matrix (the paper's high-data-rate scenario).
+type BatchBackend interface {
+	Backend
+	// SolveBatch solves the sequence on one persistent fabric. Each result's
+	// WallTime and Counters are per-solve marginals; the first result carries
+	// the programming cost. On cancellation the completed results are
+	// discarded and the wrapped context error is returned.
+	SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Result, error)
+}

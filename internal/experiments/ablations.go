@@ -38,6 +38,9 @@ func ablationEval(cfg Config, m int, build func(seed int64) (func(*lp.Problem) (
 	timing := memristor.DefaultTiming()
 	var count int
 	for trial := 0; trial < cfg.Trials; trial++ {
+		if err := cfg.ctxErr(); err != nil {
+			return row, fmt.Errorf("experiments: sweep canceled: %w", err)
+		}
 		seed := cfg.Seed + int64(trial)
 		p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: seed})
 		if err != nil {

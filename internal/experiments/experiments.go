@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -64,6 +65,17 @@ type Config struct {
 	Trials int
 	// Seed offsets the instance stream.
 	Seed int64
+	// Context cancels a sweep between trials (a size-1024 point can run for
+	// minutes). Nil means never canceled.
+	Context context.Context
+}
+
+// ctxErr reports the sweep's cancellation state.
+func (c Config) ctxErr() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +161,9 @@ func Accuracy(alg Algorithm, cfg Config) ([]AccuracyRow, error) {
 			row := AccuracyRow{M: m, N: maxInt(1, m/3), Variation: v}
 			var count int
 			for trial := 0; trial < cfg.Trials; trial++ {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+				}
 				seed := cfg.Seed + int64(trial)
 				p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: seed})
 				if err != nil {
@@ -219,6 +234,9 @@ func LatencyEnergy(alg Algorithm, cfg Config, includeFullPDIP bool) ([]PerfRow, 
 		for _, v := range cfg.Variations {
 			row := PerfRow{M: m, Variation: v}
 			for trial := 0; trial < cfg.Trials; trial++ {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+				}
 				seed := cfg.Seed + int64(trial)
 				p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: seed})
 				if err != nil {
@@ -308,6 +326,9 @@ func InfeasibleDetection(alg Algorithm, cfg Config) ([]InfeasibleRow, error) {
 		for _, v := range cfg.Variations {
 			row := InfeasibleRow{M: m, Variation: v}
 			for trial := 0; trial < cfg.Trials; trial++ {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+				}
 				seed := cfg.Seed + int64(trial)
 				p, err := lp.GenerateInfeasible(lp.GenConfig{Constraints: m, Seed: seed})
 				if err != nil {
@@ -376,6 +397,9 @@ func VariationSensitivity(cfg Config) ([]SensitivityRow, error) {
 			row := SensitivityRow{M: m, Variation: v}
 			var count int
 			for trial := 0; trial < cfg.Trials; trial++ {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+				}
 				seed := cfg.Seed + int64(trial)
 				p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: seed})
 				if err != nil {
@@ -436,6 +460,9 @@ func IterationCounts(cfg Config) ([]IterationRow, error) {
 		for _, v := range cfg.Variations {
 			row := IterationRow{M: m, Variation: v}
 			for trial := 0; trial < cfg.Trials; trial++ {
+				if err := cfg.ctxErr(); err != nil {
+					return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+				}
 				seed := cfg.Seed + int64(trial)
 				p, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: seed})
 				if err != nil {

@@ -22,12 +22,42 @@ type LU struct {
 // Factorize computes the LU factorization of a square matrix with partial
 // pivoting. It returns ErrSingular if a pivot underflows.
 func Factorize(a *Matrix) (*LU, error) {
+	return FactorizeInto(nil, a)
+}
+
+// FactorizeInto is Factorize with storage reuse: when f already holds a
+// factorization of the same dimension, its packed matrix and pivot buffers
+// are overwritten instead of reallocated. Passing nil f (or one of a
+// different dimension) allocates fresh storage. The returned *LU is f when
+// reuse succeeded; callers should always keep the returned value.
+func FactorizeInto(f *LU, a *Matrix) (*LU, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	lu := a.Clone()
-	pivot := make([]int, n)
+	var lu *Matrix
+	var pivot []int
+	if f != nil && f.lu != nil && f.lu.Rows() == n && f.lu.Cols() == n {
+		lu = f.lu
+		copy(lu.data, a.data)
+		pivot = f.pivot
+	} else {
+		lu = a.Clone()
+		pivot = make([]int, n)
+		f = &LU{}
+	}
+	sign, err := factorizeCore(lu, pivot)
+	if err != nil {
+		return nil, err
+	}
+	f.lu, f.pivot, f.sign = lu, pivot, sign
+	return f, nil
+}
+
+// factorizeCore runs the in-place LU factorization with partial pivoting on
+// lu, recording the row permutation in pivot.
+func factorizeCore(lu *Matrix, pivot []int) (float64, error) {
+	n := lu.Rows()
 	sign := 1.0
 
 	for k := 0; k < n; k++ {
@@ -42,7 +72,7 @@ func Factorize(a *Matrix) (*LU, error) {
 		}
 		pivot[k] = p
 		if maxAbs == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return 0, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rk := lu.RawRow(k)
@@ -66,7 +96,7 @@ func Factorize(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+	return sign, nil
 }
 
 // Solve solves A·x = b using the factorization.
@@ -76,6 +106,19 @@ func (f *LU) Solve(b Vector) (Vector, error) {
 		return nil, fmt.Errorf("%w: solve %d unknowns, rhs %d", ErrDimensionMismatch, n, len(b))
 	}
 	x := b.Clone()
+	if err := f.SolveInPlace(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInPlace solves A·x = b using the factorization, overwriting b with
+// the solution. It allocates nothing.
+func (f *LU) SolveInPlace(x Vector) error {
+	n := f.lu.Rows()
+	if len(x) != n {
+		return fmt.Errorf("%w: solve %d unknowns, rhs %d", ErrDimensionMismatch, n, len(x))
+	}
 	// The factorization swaps full rows (LAPACK convention), so the whole
 	// permutation is applied to the right-hand side up front, followed by
 	// clean triangular solves.
@@ -103,11 +146,11 @@ func (f *LU) Solve(b Vector) (Vector, error) {
 		}
 		d := ri[i]
 		if d == 0 {
-			return nil, fmt.Errorf("%w: zero diagonal in U at %d", ErrSingular, i)
+			return fmt.Errorf("%w: zero diagonal in U at %d", ErrSingular, i)
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factorized matrix.

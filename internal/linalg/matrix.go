@@ -94,6 +94,21 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Zero resets every element to 0 without reallocating.
+func (m *Matrix) Zero() {
+	clear(m.data)
+}
+
+// CopyFrom overwrites m with the contents of src, which must have the same
+// shape. It allocates nothing.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return fmt.Errorf("%w: copy %dx%d into %dx%d", ErrDimensionMismatch, src.rows, src.cols, m.rows, m.cols)
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
@@ -122,6 +137,23 @@ func (m *Matrix) MatVec(v Vector) (Vector, error) {
 	return out, nil
 }
 
+// MatVecInto computes m·v into out, which must have length m.Rows(). It
+// allocates nothing.
+func (m *Matrix) MatVecInto(out, v Vector) error {
+	if m.cols != len(v) || m.rows != len(out) {
+		return fmt.Errorf("%w: matvec %dx%d · %d into %d", ErrDimensionMismatch, m.rows, m.cols, len(v), len(out))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return nil
+}
+
 // MatVecTranspose returns mᵀ·v without materializing the transpose.
 func (m *Matrix) MatVecTranspose(v Vector) (Vector, error) {
 	if m.rows != len(v) {
@@ -139,6 +171,26 @@ func (m *Matrix) MatVecTranspose(v Vector) (Vector, error) {
 		}
 	}
 	return out, nil
+}
+
+// MatVecTransposeInto computes mᵀ·v into out (length m.Cols()) without
+// materializing the transpose. It allocates nothing.
+func (m *Matrix) MatVecTransposeInto(out, v Vector) error {
+	if m.rows != len(v) || m.cols != len(out) {
+		return fmt.Errorf("%w: matvecT %dx%d ᵀ· %d into %d", ErrDimensionMismatch, m.rows, m.cols, len(v), len(out))
+	}
+	clear(out)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j, a := range row {
+			out[j] += a * vi
+		}
+	}
+	return nil
 }
 
 // Mul returns m·b.

@@ -19,6 +19,71 @@ import (
 // hardware, of course, solves the whole system in one analog settle;
 // this routine only accelerates the simulation of that settle.
 func SolveStructured(a *Matrix, b Vector) (Vector, error) {
+	var w StructuredWorkspace
+	x, err := w.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// structuredStep records one presolve elimination (pivot row and column).
+type structuredStep struct {
+	row, col int
+}
+
+// StructuredWorkspace holds the scratch storage for SolveStructured so that
+// repeated solves of same-shaped systems allocate (almost) nothing. A
+// workspace is not safe for concurrent use; each goroutine needs its own.
+type StructuredWorkspace struct {
+	work     *Matrix
+	rhs      Vector
+	rowNNZ   []int
+	liveRow  []bool
+	liveCol  []bool
+	colRows  []map[int]struct{}
+	order    []structuredStep
+	queue    []int
+	coreRows []int
+	coreCols []int
+	core     *Matrix
+	cb       Vector
+	lu       *LU
+	x        Vector
+}
+
+// prepare (re)sizes the scratch buffers for an n-unknown system, copying a
+// and b into the mutable work storage.
+func (w *StructuredWorkspace) prepare(a *Matrix, b Vector) {
+	n := a.Rows()
+	if w.work == nil || w.work.Rows() != n || w.work.Cols() != n {
+		w.work = a.Clone()
+		w.rhs = make(Vector, n)
+		w.rowNNZ = make([]int, n)
+		w.liveRow = make([]bool, n)
+		w.liveCol = make([]bool, n)
+		w.colRows = make([]map[int]struct{}, n)
+		for j := 0; j < n; j++ {
+			w.colRows[j] = make(map[int]struct{})
+		}
+		w.x = make(Vector, n)
+	} else {
+		copy(w.work.data, a.data)
+		clear(w.rowNNZ)
+		for j := 0; j < n; j++ {
+			clear(w.colRows[j])
+		}
+	}
+	copy(w.rhs, b)
+	w.order = w.order[:0]
+	w.queue = w.queue[:0]
+	w.coreRows = w.coreRows[:0]
+	w.coreCols = w.coreCols[:0]
+}
+
+// Solve solves a·x = b (see SolveStructured for the algorithm). The returned
+// vector is owned by the workspace and overwritten by the next call.
+func (w *StructuredWorkspace) Solve(a *Matrix, b Vector) (Vector, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows(), a.Cols())
 	}
@@ -27,12 +92,10 @@ func SolveStructured(a *Matrix, b Vector) (Vector, error) {
 		return nil, fmt.Errorf("%w: rhs %d for %d unknowns", ErrDimensionMismatch, len(b), n)
 	}
 
-	work := a.Clone()
-	rhs := b.Clone()
+	w.prepare(a, b)
+	work, rhs := w.work, w.rhs
+	rowNNZ, liveRow, liveCol, colRows := w.rowNNZ, w.liveRow, w.liveCol, w.colRows
 
-	rowNNZ := make([]int, n)
-	liveRow := make([]bool, n)
-	liveCol := make([]bool, n)
 	for i := 0; i < n; i++ {
 		liveRow[i], liveCol[i] = true, true
 		for _, v := range work.RawRow(i) {
@@ -44,10 +107,6 @@ func SolveStructured(a *Matrix, b Vector) (Vector, error) {
 
 	// Column occupancy: which live rows hold a non-zero in each column.
 	// Kept as sets for O(1) add/remove during fill-in tracking.
-	colRows := make([]map[int]struct{}, n)
-	for j := 0; j < n; j++ {
-		colRows[j] = make(map[int]struct{})
-	}
 	for i := 0; i < n; i++ {
 		for j, v := range work.RawRow(i) {
 			if v != 0 {
@@ -56,21 +115,15 @@ func SolveStructured(a *Matrix, b Vector) (Vector, error) {
 		}
 	}
 
-	type step struct {
-		row, col int
-	}
-	var order []step
-
-	queue := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if rowNNZ[i] <= 2 {
-			queue = append(queue, i)
+			w.queue = append(w.queue, i)
 		}
 	}
 
-	for len(queue) > 0 {
-		r := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	for len(w.queue) > 0 {
+		r := w.queue[len(w.queue)-1]
+		w.queue = w.queue[:len(w.queue)-1]
 		if !liveRow[r] || rowNNZ[r] > 2 {
 			continue
 		}
@@ -118,52 +171,59 @@ func SolveStructured(a *Matrix, b Vector) (Vector, error) {
 			}
 			rhs[other] -= factor * rhs[r]
 			if rowNNZ[other] <= 2 {
-				queue = append(queue, other)
+				w.queue = append(w.queue, other)
 			}
 		}
 
 		liveRow[r] = false
 		liveCol[pc] = false
-		order = append(order, step{row: r, col: pc})
+		w.order = append(w.order, structuredStep{row: r, col: pc})
 	}
 
 	// Dense core solve over the remaining live rows/columns.
-	var coreRows, coreCols []int
 	for i := 0; i < n; i++ {
 		if liveRow[i] {
-			coreRows = append(coreRows, i)
+			w.coreRows = append(w.coreRows, i)
 		}
 		if liveCol[i] {
-			coreCols = append(coreCols, i)
+			w.coreCols = append(w.coreCols, i)
 		}
 	}
-	if len(coreRows) != len(coreCols) {
-		return nil, fmt.Errorf("%w: presolve core is %dx%d", ErrSingular, len(coreRows), len(coreCols))
+	if len(w.coreRows) != len(w.coreCols) {
+		return nil, fmt.Errorf("%w: presolve core is %dx%d", ErrSingular, len(w.coreRows), len(w.coreCols))
 	}
 
-	x := NewVector(n)
-	if k := len(coreRows); k > 0 {
-		core := NewMatrix(k, k)
-		cb := NewVector(k)
-		for ci, i := range coreRows {
+	x := w.x
+	clear(x)
+	if k := len(w.coreRows); k > 0 {
+		if w.core == nil || w.core.Rows() != k || w.core.Cols() != k {
+			w.core = NewMatrix(k, k)
+			w.cb = make(Vector, k)
+		}
+		core, cb := w.core, w.cb
+		for ci, i := range w.coreRows {
 			row := work.RawRow(i)
-			for cj, j := range coreCols {
+			for cj, j := range w.coreCols {
 				core.Set(ci, cj, row[j])
 			}
 			cb[ci] = rhs[i]
 		}
-		sol, err := SolveDense(core, cb)
+		f, err := FactorizeInto(w.lu, core)
 		if err != nil {
 			return nil, err
 		}
-		for cj, j := range coreCols {
-			x[j] = sol[cj]
+		w.lu = f
+		if err := f.SolveInPlace(cb); err != nil {
+			return nil, err
+		}
+		for cj, j := range w.coreCols {
+			x[j] = cb[cj]
 		}
 	}
 
 	// Back-substitute the presolve eliminations in reverse order.
-	for k := len(order) - 1; k >= 0; k-- {
-		st := order[k]
+	for k := len(w.order) - 1; k >= 0; k-- {
+		st := w.order[k]
 		row := work.RawRow(st.row)
 		s := rhs[st.row]
 		for j, v := range row {

@@ -20,6 +20,10 @@ const (
 	// StatusNumericalFailure means a linear system could not be solved
 	// (singular Newton system, analog saturation, …).
 	StatusNumericalFailure
+	// StatusCanceled means the solve was interrupted by context
+	// cancellation or a deadline before reaching any other outcome; the
+	// reported iterate is the state at the moment of interruption.
+	StatusCanceled
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +39,8 @@ func (s Status) String() string {
 		return "iteration-limit"
 	case StatusNumericalFailure:
 		return "numerical-failure"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -130,6 +130,18 @@ type Stats struct {
 	ComposedSolves int64
 }
 
+// Sub returns s − o field-wise, for marginalizing cumulative stats on a
+// persistent fabric into per-solve figures. MaxHops is a topology-determined
+// high-water mark, not an accumulator, so the current value is kept.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Transfers:      s.Transfers - o.Transfers,
+		ElementHops:    s.ElementHops - o.ElementHops,
+		MaxHops:        s.MaxHops,
+		ComposedSolves: s.ComposedSolves - o.ComposedSolves,
+	}
+}
+
 // TiledFabric coordinates a grid of crossbars through the NoC. It implements
 // the same fabric contract as a single crossbar (Program/UpdateRow/
 // UpdateCellInPlace/MatVec/Solve/Counters).

@@ -5,33 +5,89 @@ import (
 	"github.com/memlp/memlp/internal/lp"
 )
 
-// solveNewtonFull assembles and solves the full Newton system of Eq. 12:
+// workspace holds the per-solver scratch storage for the Newton systems so
+// repeated solves of same-shaped problems allocate (almost) nothing: the
+// assembled matrix, its LU factorization buffers, the residual vectors, and
+// the direction vectors are all reused across iterations and solves.
+type workspace struct {
+	n, m int
+
+	rho, sigma linalg.Vector
+	mat        *linalg.Matrix
+	rhs        linalg.Vector
+	lu         *linalg.LU
+	dw, dz     linalg.Vector
+}
+
+// prepare (re)sizes the buffers for problem p and fills the static blocks of
+// the Newton matrix (the A/Aᵀ/±I blocks, which do not change across
+// iterations); the complementarity diagonals are refreshed per iteration by
+// the solveNewton* methods.
+func (ws *workspace) prepare(p *lp.Problem, backend NewtonBackend) {
+	n, m := p.NumVariables(), p.NumConstraints()
+	size := n + m
+	if backend == NewtonFull {
+		size = 2 * (n + m)
+	}
+	if ws.n != n || ws.m != m || ws.mat == nil || ws.mat.Rows() != size {
+		ws.n, ws.m = n, m
+		ws.rho = linalg.NewVector(m)
+		ws.sigma = linalg.NewVector(n)
+		ws.mat = linalg.NewMatrix(size, size)
+		ws.rhs = linalg.NewVector(size)
+		ws.lu = nil
+		ws.dw = linalg.NewVector(m)
+		ws.dz = linalg.NewVector(n)
+	} else {
+		ws.mat.Zero()
+	}
+
+	mat := ws.mat
+	if backend == NewtonFull {
+		// Block row 1: A·Δx + I·Δw = ρ.
+		for i := 0; i < m; i++ {
+			arow := p.A.RawRow(i)
+			brow := mat.RawRow(i)
+			copy(brow[:n], arow)
+			brow[n+m+i] = 1
+		}
+		// Block row 2: Aᵀ·Δy − I·Δz = σ (transpose written by loops — no
+		// temporary matrix).
+		for j := 0; j < n; j++ {
+			brow := mat.RawRow(m + j)
+			for k := 0; k < m; k++ {
+				brow[n+k] = p.A.At(k, j)
+			}
+			brow[n+2*m+j] = -1
+		}
+		return
+	}
+	// Reduced KKT: Aᵀ upper-right, A lower-left.
+	for j := 0; j < n; j++ {
+		brow := mat.RawRow(j)
+		for k := 0; k < m; k++ {
+			brow[n+k] = p.A.At(k, j)
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(mat.RawRow(n + i)[:n], p.A.RawRow(i))
+	}
+}
+
+// solveNewtonFull refreshes the complementarity blocks of, and solves, the
+// full Newton system of Eq. 12:
 //
 //	⎡ A   0   I   0 ⎤ ⎡Δx⎤   ⎡ b − A·x − w  ⎤
 //	⎢ 0   Aᵀ  0  −I ⎥ ⎢Δy⎥ = ⎢ c − Aᵀ·y + z ⎥
 //	⎢ Z   0   0   X ⎥ ⎢Δw⎥   ⎢ µ1 − XZe     ⎥
 //	⎣ 0   W   Y   0 ⎦ ⎣Δz⎦   ⎣ µ1 − YWe     ⎦
 //
-// with dense LU — the O(N³)-per-iteration software baseline of §3.5.
-func solveNewtonFull(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
-	n, m := p.NumVariables(), p.NumConstraints()
-	size := 2 * (n + m)
-	big := linalg.NewMatrix(size, size)
-
-	// Block row 1: A·Δx + I·Δw = ρ.
-	if err := big.SetSubmatrix(0, 0, p.A); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	for i := 0; i < m; i++ {
-		big.Set(i, n+m+i, 1)
-	}
-	// Block row 2: Aᵀ·Δy − I·Δz = σ.
-	if err := big.SetSubmatrix(m, n, p.A.Transpose()); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	for i := 0; i < n; i++ {
-		big.Set(m+i, n+2*m+i, -1)
-	}
+// with dense LU — the O(N³)-per-iteration software baseline of §3.5. The
+// returned directions are views into workspace storage, valid until the next
+// solveNewton* call.
+func (ws *workspace) solveNewtonFull(x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
+	n, m := ws.n, ws.m
+	big := ws.mat
 	// Block row 3: Z·Δx + X·Δz = µ1 − XZe.
 	for i := 0; i < n; i++ {
 		big.Set(m+n+i, i, z[i])
@@ -43,7 +99,7 @@ func solveNewtonFull(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu flo
 		big.Set(m+2*n+i, n+m+i, y[i])
 	}
 
-	rhs := linalg.NewVector(size)
+	rhs := ws.rhs
 	copy(rhs[0:m], rho)
 	copy(rhs[m:m+n], sigma)
 	for i := 0; i < n; i++ {
@@ -53,15 +109,15 @@ func solveNewtonFull(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu flo
 		rhs[m+2*n+i] = mu - y[i]*w[i]
 	}
 
-	sol, err := linalg.SolveDense(big, rhs)
+	ws.lu, err = linalg.FactorizeInto(ws.lu, big)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	dx = sol[0:n].Clone()
-	dy = sol[n : n+m].Clone()
-	dw = sol[n+m : n+2*m].Clone()
-	dz = sol[n+2*m:].Clone()
-	return dx, dy, dw, dz, nil
+	if err := ws.lu.SolveInPlace(rhs); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sol := rhs
+	return sol[0:n], sol[n : n+m], sol[n+m : n+2*m], sol[n+2*m:], nil
 }
 
 // solveNewtonReduced eliminates Δz and Δw from Eq. 9:
@@ -74,26 +130,20 @@ func solveNewtonFull(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu flo
 //	⎡ X⁻¹Z    Aᵀ    ⎤ ⎡Δx⎤ = ⎡ σ + X⁻¹(µ1 − XZe) ⎤
 //	⎣  A     −Y⁻¹W  ⎦ ⎣Δy⎦   ⎣ ρ − Y⁻¹(µ1 − YWe) ⎦
 //
-// solved with dense LU on the smaller matrix.
-func solveNewtonReduced(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
-	n, m := p.NumVariables(), p.NumConstraints()
-	size := n + m
-	kkt := linalg.NewMatrix(size, size)
+// solved with dense LU on the smaller matrix. The returned directions are
+// views into workspace storage, valid until the next solveNewton* call.
+func (ws *workspace) solveNewtonReduced(x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
+	n, m := ws.n, ws.m
+	kkt := ws.mat
 
 	for i := 0; i < n; i++ {
 		kkt.Set(i, i, z[i]/x[i])
-	}
-	if err := kkt.SetSubmatrix(0, n, p.A.Transpose()); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if err := kkt.SetSubmatrix(n, 0, p.A); err != nil {
-		return nil, nil, nil, nil, err
 	}
 	for i := 0; i < m; i++ {
 		kkt.Set(n+i, n+i, -w[i]/y[i])
 	}
 
-	rhs := linalg.NewVector(size)
+	rhs := ws.rhs
 	for i := 0; i < n; i++ {
 		rhs[i] = sigma[i] + (mu-x[i]*z[i])/x[i]
 	}
@@ -101,18 +151,22 @@ func solveNewtonReduced(p *lp.Problem, x, y, w, z, rho, sigma linalg.Vector, mu 
 		rhs[n+i] = rho[i] - (mu-y[i]*w[i])/y[i]
 	}
 
-	sol, err := linalg.SolveDense(kkt, rhs)
+	ws.lu, err = linalg.FactorizeInto(ws.lu, kkt)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	dx = sol[0:n].Clone()
-	dy = sol[n:].Clone()
+	if err := ws.lu.SolveInPlace(rhs); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sol := rhs
+	dx = sol[0:n]
+	dy = sol[n:]
 
-	dz = linalg.NewVector(n)
+	dz = ws.dz
 	for i := 0; i < n; i++ {
 		dz[i] = (mu-x[i]*z[i])/x[i] - z[i]/x[i]*dx[i]
 	}
-	dw = linalg.NewVector(m)
+	dw = ws.dw
 	for i := 0; i < m; i++ {
 		dw[i] = (mu-y[i]*w[i])/y[i] - w[i]/y[i]*dy[i]
 	}

@@ -20,8 +20,10 @@
 package pdip
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
@@ -49,10 +51,16 @@ func (b NewtonBackend) String() string {
 	}
 }
 
-// Solver is the software PDIP baseline.
+// Solver is the software PDIP baseline. A Solver is safe for concurrent use;
+// solves serialize on an internal mutex so the Newton-system workspace (the
+// assembled matrix, LU buffers, and direction vectors) can be reused across
+// iterations and across solves of same-shaped problems.
 type Solver struct {
 	tol     lp.Tolerances
 	backend NewtonBackend
+
+	mu sync.Mutex
+	ws workspace
 }
 
 // Result reports the outcome of a solve, including per-iteration telemetry
@@ -102,10 +110,22 @@ func New(opts ...Option) (*Solver, error) {
 
 // Solve runs the PDIP iteration on p.
 func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
+	return s.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs the PDIP iteration on p, honoring cancellation and
+// deadlines: the context is checked once per iteration, and an interrupted
+// solve returns its partial iterate with lp.StatusCanceled alongside the
+// wrapped context error.
+func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, m := p.NumVariables(), p.NumConstraints()
+	s.ws.prepare(p, s.backend)
+	rho, sigma := s.ws.rho, s.ws.sigma
 
 	// Arbitrary strictly positive start (§3.1: "initialized as arbitrary
 	// vectors"); all-ones is the conventional choice.
@@ -115,15 +135,19 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 	z := onesVector(n)
 
 	res := &Result{Status: lp.StatusIterationLimit}
+	var ctxErr error
 	for iter := 1; iter <= s.tol.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.Status = lp.StatusCanceled
+			ctxErr = fmt.Errorf("pdip: solve canceled at iteration %d: %w", iter, err)
+			break
+		}
 		res.Iterations = iter
 
-		rho, err := primalResidual(p, x, w) // b − A·x − w
-		if err != nil {
+		if err := primalResidualInto(rho, p, x, w); err != nil { // b − A·x − w
 			return nil, err
 		}
-		sigma, err := dualResidual(p, y, z) // c − Aᵀ·y + z
-		if err != nil {
+		if err := dualResidualInto(sigma, p, y, z); err != nil { // c − Aᵀ·y + z
 			return nil, err
 		}
 		gap := dualityGap(x, z, y, w)
@@ -150,11 +174,12 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 		mu := s.tol.Delta * gap / float64(n+m) // Eq. 8
 
 		var dx, dy, dw, dz linalg.Vector
+		var err error
 		switch s.backend {
 		case NewtonFull:
-			dx, dy, dw, dz, err = solveNewtonFull(p, x, y, w, z, rho, sigma, mu)
+			dx, dy, dw, dz, err = s.ws.solveNewtonFull(x, y, w, z, rho, sigma, mu)
 		case NewtonReduced:
-			dx, dy, dw, dz, err = solveNewtonReduced(p, x, y, w, z, rho, sigma, mu)
+			dx, dy, dw, dz, err = s.ws.solveNewtonReduced(x, y, w, z, rho, sigma, mu)
 		}
 		if err != nil {
 			if errors.Is(err, linalg.ErrSingular) {
@@ -191,33 +216,29 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 		return nil, err
 	}
 	res.Objective = obj
-	return res, nil
+	return res, ctxErr
 }
 
-// primalResidual returns b − A·x − w.
-func primalResidual(p *lp.Problem, x, w linalg.Vector) (linalg.Vector, error) {
-	ax, err := p.A.MatVec(x)
-	if err != nil {
-		return nil, err
+// primalResidualInto computes b − A·x − w into dst (length m).
+func primalResidualInto(dst linalg.Vector, p *lp.Problem, x, w linalg.Vector) error {
+	if err := p.A.MatVecInto(dst, x); err != nil {
+		return err
 	}
-	r, err := p.B.Sub(ax)
-	if err != nil {
-		return nil, err
+	for i := range dst {
+		dst[i] = p.B[i] - dst[i] - w[i]
 	}
-	return r.Sub(w)
+	return nil
 }
 
-// dualResidual returns c − Aᵀ·y + z.
-func dualResidual(p *lp.Problem, y, z linalg.Vector) (linalg.Vector, error) {
-	aty, err := p.A.MatVecTranspose(y)
-	if err != nil {
-		return nil, err
+// dualResidualInto computes c − Aᵀ·y + z into dst (length n).
+func dualResidualInto(dst linalg.Vector, p *lp.Problem, y, z linalg.Vector) error {
+	if err := p.A.MatVecTransposeInto(dst, y); err != nil {
+		return err
 	}
-	r, err := p.C.Sub(aty)
-	if err != nil {
-		return nil, err
+	for i := range dst {
+		dst[i] = p.C[i] - dst[i] + z[i]
 	}
-	return r.Add(z)
+	return nil
 }
 
 // dualityGap returns zᵀx + yᵀw.

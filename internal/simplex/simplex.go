@@ -10,6 +10,7 @@
 package simplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -125,6 +126,13 @@ func (t *tableau) leaving(col int) int {
 
 // Solve runs two-phase simplex on p.
 func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
+	return s.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs two-phase simplex on p, honoring cancellation and
+// deadlines: the context is checked once per pivot, and an interrupted solve
+// returns lp.StatusCanceled alongside the wrapped context error.
+func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,10 +194,13 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 		for j := n + m; j < cols-1; j++ {
 			obj[j] = 0
 		}
-		if err := s.iterate(t, cols-1, &pivots); err != nil {
+		if err := s.iterate(ctx, t, cols-1, &pivots); err != nil {
 			if errors.Is(err, errUnbounded) {
 				// Phase 1 is bounded below by 0; unbounded here means a bug.
 				return nil, fmt.Errorf("simplex: phase 1 unbounded: internal error")
+			}
+			if canceled(err) {
+				return &Result{Status: lp.StatusCanceled, Pivots: pivots}, err
 			}
 			return nil, err
 		}
@@ -232,9 +243,12 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 	}
 	// Forbid re-entering artificial columns.
 	limit := n + m
-	if err := s.iterate(t, limit, &pivots); err != nil {
+	if err := s.iterate(ctx, t, limit, &pivots); err != nil {
 		if errors.Is(err, errUnbounded) {
 			return &Result{Status: lp.StatusUnbounded, Pivots: pivots}, nil
+		}
+		if canceled(err) {
+			return &Result{Status: lp.StatusCanceled, Pivots: pivots}, err
 		}
 		return nil, err
 	}
@@ -254,9 +268,18 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 
 var errUnbounded = errors.New("simplex: unbounded direction")
 
-// iterate pivots until optimality within the given column limit.
-func (s *Solver) iterate(t *tableau, limit int, pivots *int) error {
+// canceled reports whether err stems from context cancellation or expiry.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// iterate pivots until optimality within the given column limit, checking the
+// context once per pivot.
+func (s *Solver) iterate(ctx context.Context, t *tableau, limit int, pivots *int) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("simplex: solve canceled after %d pivots: %w", *pivots, err)
+		}
 		if *pivots >= s.maxPivots {
 			return fmt.Errorf("%w: %d", ErrPivotLimit, s.maxPivots)
 		}

@@ -50,6 +50,11 @@ var (
 	ErrInvalid = lp.ErrInvalid
 	// ErrUnknownEngine reports an unrecognized Engine value.
 	ErrUnknownEngine = errors.New("memlp: unknown engine")
+	// ErrIncompatibleOption reports an option that does not apply to the
+	// selected engine — e.g. WithIOBits with a software engine, or
+	// WithConstantStep outside EngineCrossbarLargeScale. It matches
+	// errors.Is(err, ErrInvalid).
+	ErrIncompatibleOption = fmt.Errorf("%w: option incompatible with engine", ErrInvalid)
 )
 
 // Problem is a linear program: maximize Cᵀx subject to A·x ≤ B, x ≥ 0.
@@ -171,6 +176,9 @@ const (
 	// StatusNumericalFailure means the solve failed numerically (singular
 	// analog network, α-check rejection, …).
 	StatusNumericalFailure = Status(lp.StatusNumericalFailure)
+	// StatusCanceled means the solve was interrupted by its context; the
+	// Solution holds the partial iterate reached at cancellation.
+	StatusCanceled = Status(lp.StatusCanceled)
 )
 
 // String implements fmt.Stringer.

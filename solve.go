@@ -1,11 +1,14 @@
 package memlp
 
 import (
+	"context"
 	"fmt"
-	"time"
+	"sort"
+	"sync"
 
 	"github.com/memlp/memlp/internal/core"
 	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/engine"
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/memristor"
 	"github.com/memlp/memlp/internal/noc"
@@ -54,7 +57,9 @@ func (e Engine) String() string {
 	}
 }
 
-// options collects the cross-engine configuration.
+// options collects the cross-engine configuration. set records which options
+// the caller supplied, by exported name, so NewSolver can reject settings
+// that do not apply to the selected engine.
 type options struct {
 	variationPct   float64
 	cycleNoise     float64
@@ -71,9 +76,48 @@ type options struct {
 	nocTileSize    int
 	literal        bool
 	timing         memristor.Timing
+
+	set map[string]bool
 }
 
-// Option configures Solve.
+func defaultOptions() options {
+	return options{seed: 1, timing: memristor.DefaultTiming(), set: map[string]bool{}}
+}
+
+// validateFor rejects options that do not configure the selected engine:
+// hardware options (variation, quantization, NoC, …) require a crossbar
+// engine, Algorithm 2 knobs require EngineCrossbarLargeScale, and iteration
+// bounds do not apply to simplex. Errors match both ErrIncompatibleOption
+// and ErrInvalid.
+func (o *options) validateFor(e Engine) error {
+	switch e {
+	case EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex:
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownEngine, int(e))
+	}
+	names := make([]string, 0, len(o.set))
+	for name := range o.set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ok := false
+		switch name {
+		case "WithConstantStep", "WithLiteralFillers":
+			ok = e == EngineCrossbarLargeScale
+		case "WithMaxIterations":
+			ok = e != EngineSimplex
+		default: // crossbar hardware options
+			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale
+		}
+		if !ok {
+			return fmt.Errorf("%s does not apply to engine %s: %w", name, e, ErrIncompatibleOption)
+		}
+	}
+	return nil
+}
+
+// Option configures a Solver (or a one-shot Solve/SolveBatch call).
 type Option func(*options) error
 
 // WithVariation sets the process-variation magnitude (e.g. 0.10 for "up to
@@ -84,6 +128,7 @@ func WithVariation(pct float64) Option {
 			return fmt.Errorf("%w: variation %v", ErrInvalid, pct)
 		}
 		o.variationPct = pct
+		o.set["WithVariation"] = true
 		return nil
 	}
 }
@@ -96,6 +141,7 @@ func WithCycleNoise(frac float64) Option {
 			return fmt.Errorf("%w: cycle noise %v", ErrInvalid, frac)
 		}
 		o.cycleNoise = frac
+		o.set["WithCycleNoise"] = true
 		return nil
 	}
 }
@@ -103,7 +149,11 @@ func WithCycleNoise(frac float64) Option {
 // WithSeed fixes the random seed for variation draws, making crossbar solves
 // reproducible.
 func WithSeed(seed int64) Option {
-	return func(o *options) error { o.seed = seed; return nil }
+	return func(o *options) error {
+		o.seed = seed
+		o.set["WithSeed"] = true
+		return nil
+	}
 }
 
 // WithIOBits sets the DAC/ADC precision (the paper uses 8).
@@ -113,6 +163,7 @@ func WithIOBits(bits int) Option {
 			return fmt.Errorf("%w: io bits %d", ErrInvalid, bits)
 		}
 		o.ioBits = bits
+		o.set["WithIOBits"] = true
 		return nil
 	}
 }
@@ -124,6 +175,7 @@ func WithWriteBits(bits int) Option {
 			return fmt.Errorf("%w: write bits %d", ErrInvalid, bits)
 		}
 		o.writeBits = bits
+		o.set["WithWriteBits"] = true
 		return nil
 	}
 }
@@ -131,7 +183,11 @@ func WithWriteBits(bits int) Option {
 // WithGlobalIORange selects a single shared DAC/ADC full-scale range per
 // vector instead of the default per-line programmable-gain converters.
 func WithGlobalIORange() Option {
-	return func(o *options) error { o.globalIORange = true; return nil }
+	return func(o *options) error {
+		o.globalIORange = true
+		o.set["WithGlobalIORange"] = true
+		return nil
+	}
 }
 
 // WithAlpha sets the relaxed feasibility parameter α of §3.2 (≥ 1). Under
@@ -143,6 +199,7 @@ func WithAlpha(alpha float64) Option {
 			return fmt.Errorf("%w: alpha %v", ErrInvalid, alpha)
 		}
 		o.alpha = alpha
+		o.set["WithAlpha"] = true
 		return nil
 	}
 }
@@ -154,6 +211,7 @@ func WithMaxIterations(n int) Option {
 			return fmt.Errorf("%w: max iterations %d", ErrInvalid, n)
 		}
 		o.maxIterations = n
+		o.set["WithMaxIterations"] = true
 		return nil
 	}
 }
@@ -165,6 +223,7 @@ func WithConstantStep(theta float64) Option {
 			return fmt.Errorf("%w: constant step %v", ErrInvalid, theta)
 		}
 		o.constantStep = theta
+		o.set["WithConstantStep"] = true
 		return nil
 	}
 }
@@ -187,6 +246,7 @@ func WithNoC(topology string, tileSize int) Option {
 		}
 		o.useNoC = true
 		o.nocTileSize = tileSize
+		o.set["WithNoC"] = true
 		return nil
 	}
 }
@@ -200,6 +260,7 @@ func WithWireResistance(rw float64) Option {
 			return fmt.Errorf("%w: wire resistance %v", ErrInvalid, rw)
 		}
 		o.wireResistance = rw
+		o.set["WithWireResistance"] = true
 		return nil
 	}
 }
@@ -207,175 +268,86 @@ func WithWireResistance(rw float64) Option {
 // WithLiteralFillers selects the paper-literal εI reading of Algorithm 2's
 // Eq. 16c (see the design notes; unstable for m ≠ n — ablation use only).
 func WithLiteralFillers() Option {
-	return func(o *options) error { o.literal = true; return nil }
+	return func(o *options) error {
+		o.literal = true
+		o.set["WithLiteralFillers"] = true
+		return nil
+	}
 }
 
-// SolveBatch solves a sequence of problems sharing one constraint matrix A
-// (with varying b and c) on a single persistent crossbar fabric — the
-// paper's high-data-rate scenario. The fabric is programmed once; each
-// subsequent solve pays only the O(N)-per-iteration coefficient refresh, and
-// the array's static process variation persists across the batch exactly as
-// deployed hardware would. Only EngineCrossbar supports batching.
-func SolveBatch(problems []*Problem, opts ...Option) ([]*Solution, error) {
-	if len(problems) == 0 {
-		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
-	}
-	o := options{seed: 1, timing: memristor.DefaultTiming()}
+// Solver is a reusable handle on one configured engine. Construction
+// resolves the options, validates them against the engine, and builds the
+// backend once; every Solve call then reuses the backend's iteration
+// workspaces and — for crossbar engines — the persistent simulated fabric,
+// so repeated same-shape solves skip reprogramming and allocate almost
+// nothing.
+//
+// A Solver is safe for concurrent use: calls serialize on the handle (one
+// simulated fabric cannot run two solves at once). Crossbar results report
+// per-solve marginal hardware counters even though the fabric persists.
+type Solver struct {
+	engine  Engine
+	timing  memristor.Timing
+	backend engine.Backend
+
+	mu sync.Mutex
+	// NoC accounting: the fabric factory records every tiled fabric it
+	// builds so transfer stats can reach the hardware estimate. Stats are
+	// cumulative per fabric; snapshots around each solve yield marginals.
+	nocCfg     *noc.Config
+	nocFabrics []*noc.TiledFabric
+}
+
+// NewSolver returns a reusable Solver for the given engine. Options that do
+// not apply to the engine (e.g. WithIOBits with a software engine, or
+// WithConstantStep outside EngineCrossbarLargeScale) are rejected with
+// ErrIncompatibleOption.
+func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
+	o := defaultOptions()
 	for _, fn := range opts {
 		if err := fn(&o); err != nil {
 			return nil, err
 		}
 	}
-	inner := make([]*lp.Problem, len(problems))
-	for i, p := range problems {
-		if p == nil || p.inner == nil {
-			return nil, fmt.Errorf("%w: nil problem at %d", ErrInvalid, i)
-		}
-		inner[i] = p.inner
-	}
-
-	xcfg := crossbar.Config{
-		IOBits:         o.ioBits,
-		WriteBits:      o.writeBits,
-		GlobalIORange:  o.globalIORange,
-		CycleNoise:     o.cycleNoise,
-		WireResistance: o.wireResistance,
-	}
-	if o.variationPct > 0 {
-		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
-		if err != nil {
-			return nil, err
-		}
-		xcfg.Variation = vm
-	}
-	alpha := o.alpha
-	if alpha == 0 {
-		alpha = 1.05 + 2*o.variationPct
-	}
-	copts := core.Options{Fabric: core.SingleCrossbarFactory(xcfg), Alpha: alpha}
-	if o.maxIterations > 0 {
-		copts.Tol.MaxIterations = o.maxIterations
-	}
-	s, err := core.NewSolver(copts)
-	if err != nil {
+	if err := o.validateFor(eng); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	results, err := s.SolveBatch(inner)
-	if err != nil {
-		return nil, err
-	}
-	wall := time.Since(start)
 
-	out := make([]*Solution, len(results))
-	var prev crossbar.Counters
-	for i, res := range results {
-		// Counters are cumulative on the shared fabric; report marginals.
-		marginal := crossbar.Counters{
-			CellWrites:    res.Counters.CellWrites - prev.CellWrites,
-			MatVecOps:     res.Counters.MatVecOps - prev.MatVecOps,
-			SolveOps:      res.Counters.SolveOps - prev.SolveOps,
-			IOConversions: res.Counters.IOConversions - prev.IOConversions,
-		}
-		prev = res.Counters
-		est := perf.CrossbarCost(marginal, o.timing)
-		out[i] = &Solution{
-			Status:     Status(res.Status),
-			X:          res.X,
-			DualY:      res.Y,
-			Objective:  res.Objective,
-			Iterations: res.Iterations,
-			WallTime:   wall / time.Duration(len(results)),
-			Hardware: &HardwareEstimate{
-				Latency:      est.Latency,
-				EnergyJoules: est.Energy,
-				CellWrites:   marginal.CellWrites,
-				AnalogOps:    marginal.MatVecOps + marginal.SolveOps,
-				Conversions:  marginal.IOConversions,
-			},
-			PrimalInfeasibility: res.PrimalInfeasibility,
-			DualInfeasibility:   res.DualInfeasibility,
-			DualityGap:          res.DualityGap,
-		}
-	}
-	return out, nil
-}
-
-// Solve runs the selected engine on p.
-func Solve(p *Problem, engine Engine, opts ...Option) (*Solution, error) {
-	if p == nil || p.inner == nil {
-		return nil, fmt.Errorf("%w: nil problem", ErrInvalid)
-	}
-	o := options{seed: 1, timing: memristor.DefaultTiming()}
-	for _, fn := range opts {
-		if err := fn(&o); err != nil {
-			return nil, err
-		}
-	}
-
-	switch engine {
+	s := &Solver{engine: eng, timing: o.timing}
+	switch eng {
 	case EnginePDIP, EnginePDIPReduced:
-		return solveSoftwarePDIP(p, engine, o)
+		backend := pdip.NewtonFull
+		if eng == EnginePDIPReduced {
+			backend = pdip.NewtonReduced
+		}
+		tol := lp.DefaultTolerances()
+		if o.maxIterations > 0 {
+			tol.MaxIterations = o.maxIterations
+		}
+		ps, err := pdip.New(pdip.WithBackend(backend), pdip.WithTolerances(tol))
+		if err != nil {
+			return nil, err
+		}
+		s.backend = engine.PDIP{S: ps, BackendName: eng.String()}
 	case EngineSimplex:
-		return solveSimplex(p)
+		sx, err := simplex.New()
+		if err != nil {
+			return nil, err
+		}
+		s.backend = engine.Simplex{S: sx}
 	case EngineCrossbar, EngineCrossbarLargeScale:
-		return solveCrossbar(p, engine, o)
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownEngine, int(engine))
+		if err := s.buildCrossbarBackend(eng, o); err != nil {
+			return nil, err
+		}
 	}
+	return s, nil
 }
 
-func solveSoftwarePDIP(p *Problem, engine Engine, o options) (*Solution, error) {
-	backend := pdip.NewtonFull
-	if engine == EnginePDIPReduced {
-		backend = pdip.NewtonReduced
-	}
-	tol := lp.DefaultTolerances()
-	if o.maxIterations > 0 {
-		tol.MaxIterations = o.maxIterations
-	}
-	s, err := pdip.New(pdip.WithBackend(backend), pdip.WithTolerances(tol))
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	res, err := s.Solve(p.inner)
-	if err != nil {
-		return nil, err
-	}
-	return &Solution{
-		Status:              Status(res.Status),
-		X:                   res.X,
-		DualY:               res.Y,
-		Objective:           res.Objective,
-		Iterations:          res.Iterations,
-		WallTime:            time.Since(start),
-		PrimalInfeasibility: res.PrimalInfeasibility,
-		DualInfeasibility:   res.DualInfeasibility,
-		DualityGap:          res.DualityGap,
-	}, nil
-}
-
-func solveSimplex(p *Problem) (*Solution, error) {
-	s, err := simplex.New()
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	res, err := s.Solve(p.inner)
-	if err != nil {
-		return nil, err
-	}
-	return &Solution{
-		Status:    Status(res.Status),
-		X:         res.X,
-		Objective: res.Objective,
-		Pivots:    res.Pivots,
-		WallTime:  time.Since(start),
-	}, nil
-}
-
-func solveCrossbar(p *Problem, engine Engine, o options) (*Solution, error) {
+// buildCrossbarBackend wires the crossbar configuration into a core solver
+// behind the engine interface. With NoC enabled the fabric factory captures
+// every tiled fabric it builds on s (safe without locking: the factory only
+// runs inside backend calls made under s.mu).
+func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 	xcfg := crossbar.Config{
 		IOBits:         o.ioBits,
 		WriteBits:      o.writeBits,
@@ -386,23 +358,27 @@ func solveCrossbar(p *Problem, engine Engine, o options) (*Solution, error) {
 	if o.variationPct > 0 {
 		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xcfg.Variation = vm
 	}
 
 	var factory core.FabricFactory
-	var nocCfg *noc.Config
 	if o.useNoC {
 		cfg := noc.Config{Topology: o.nocTopology, TileSize: o.nocTileSize, Crossbar: xcfg}
-		nocCfg = &cfg
+		s.nocCfg = &cfg
 		factory = func(size int) (core.Fabric, error) {
 			c := cfg
 			needed := (size + c.TileSize - 1) / c.TileSize
 			if needed*needed > c.MaxTiles {
 				c.MaxTiles = needed * needed
 			}
-			return noc.New(c)
+			f, err := noc.New(c)
+			if err != nil {
+				return nil, err
+			}
+			s.nocFabrics = append(s.nocFabrics, f)
+			return f, nil
 		}
 	} else {
 		factory = core.SingleCrossbarFactory(xcfg)
@@ -422,70 +398,170 @@ func solveCrossbar(p *Problem, engine Engine, o options) (*Solution, error) {
 		copts.Tol.MaxIterations = o.maxIterations
 	}
 
-	start := time.Now()
-	var res *core.Result
-	var err error
-	var nocFabrics []*noc.TiledFabric
-	if o.useNoC {
-		// Capture the fabrics so NoC transfer stats reach the estimate.
-		inner := factory
-		factory = func(size int) (core.Fabric, error) {
-			f, err := inner(size)
-			if err != nil {
-				return nil, err
-			}
-			if tf, ok := f.(*noc.TiledFabric); ok {
-				nocFabrics = append(nocFabrics, tf)
-			}
-			return f, nil
+	switch eng {
+	case EngineCrossbar:
+		cs, err := core.NewSolver(copts)
+		if err != nil {
+			return err
 		}
-		copts.Fabric = factory
+		s.backend = engine.Crossbar{S: cs}
+	case EngineCrossbarLargeScale:
+		ls, err := core.NewLargeScaleSolver(copts)
+		if err != nil {
+			return err
+		}
+		s.backend = engine.CrossbarLargeScale{S: ls}
+	}
+	return nil
+}
+
+// Engine returns the engine this handle was built for.
+func (s *Solver) Engine() Engine { return s.engine }
+
+// Solve runs the configured engine on p. The context is honored inside the
+// iteration loop of every engine: a canceled or expired ctx returns the
+// partial Solution with StatusCanceled together with the wrapped context
+// error.
+func (s *Solver) Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if p == nil || p.inner == nil {
+		return nil, fmt.Errorf("%w: nil problem", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.nocSnapshot()
+	res, err := s.backend.Solve(ctx, p.inner)
+	if res == nil {
+		return nil, err
+	}
+	sol := s.solution(res)
+	s.addNoCCost(sol, before)
+	return sol, err
+}
+
+// SolveBatch solves a sequence of problems sharing one constraint matrix A
+// (with varying b and c) on one persistent fabric — the paper's
+// high-data-rate scenario. The fabric is programmed once; each subsequent
+// solve pays only the O(N)-per-iteration coefficient refresh, and the
+// array's static process variation persists across the batch exactly as
+// deployed hardware would. Each Solution's WallTime and hardware counters
+// are measured per solve; the first additionally carries the one-time
+// programming (and, with NoC, the batch's transfer) cost.
+//
+// Only EngineCrossbar supports batching.
+func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Solution, error) {
+	if len(problems) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	bb, ok := s.backend.(engine.BatchBackend)
+	if !ok {
+		return nil, fmt.Errorf("%w: engine %s does not support batching", ErrInvalid, s.engine)
+	}
+	inner := make([]*lp.Problem, len(problems))
+	for i, p := range problems {
+		if p == nil || p.inner == nil {
+			return nil, fmt.Errorf("%w: nil problem at %d", ErrInvalid, i)
+		}
+		inner[i] = p.inner
 	}
 
-	switch engine {
-	case EngineCrossbar:
-		var s *core.Solver
-		s, err = core.NewSolver(copts)
-		if err != nil {
-			return nil, err
-		}
-		res, err = s.Solve(p.inner)
-	case EngineCrossbarLargeScale:
-		var s *core.LargeScaleSolver
-		s, err = core.NewLargeScaleSolver(copts)
-		if err != nil {
-			return nil, err
-		}
-		res, err = s.Solve(p.inner)
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.nocSnapshot()
+	results, err := bb.SolveBatch(ctx, inner)
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start)
-
-	est := perf.CrossbarCost(res.Counters, o.timing)
-	if nocCfg != nil {
-		for _, tf := range nocFabrics {
-			est = est.Add(perf.NoCCost(tf.Stats(), *nocCfg))
-		}
+	out := make([]*Solution, len(results))
+	for i, res := range results {
+		out[i] = s.solution(res)
 	}
+	if len(out) > 0 {
+		s.addNoCCost(out[0], before)
+	}
+	return out, nil
+}
 
-	return &Solution{
-		Status:     Status(res.Status),
-		X:          res.X,
-		DualY:      res.Y,
-		Objective:  res.Objective,
-		Iterations: res.Iterations,
-		WallTime:   wall,
-		Hardware: &HardwareEstimate{
+// solution converts an engine result into the public form, attaching the
+// hardware estimate for analog engines.
+func (s *Solver) solution(res *engine.Result) *Solution {
+	sol := &Solution{
+		Status:              Status(res.Status),
+		X:                   res.X,
+		DualY:               res.Y,
+		Objective:           res.Objective,
+		Iterations:          res.Iterations,
+		Pivots:              res.Pivots,
+		WallTime:            res.WallTime,
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+	}
+	if res.Analog {
+		est := perf.CrossbarCost(res.Counters, s.timing)
+		sol.Hardware = &HardwareEstimate{
 			Latency:      est.Latency,
 			EnergyJoules: est.Energy,
 			CellWrites:   res.Counters.CellWrites,
 			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
 			Conversions:  res.Counters.IOConversions,
-		},
-		PrimalInfeasibility: res.PrimalInfeasibility,
-		DualInfeasibility:   res.DualInfeasibility,
-		DualityGap:          res.DualityGap,
-	}, nil
+		}
+	}
+	return sol
+}
+
+// nocSnapshot records the cumulative transfer stats of every captured tiled
+// fabric. Callers must hold s.mu.
+func (s *Solver) nocSnapshot() []noc.Stats {
+	if s.nocCfg == nil {
+		return nil
+	}
+	snaps := make([]noc.Stats, len(s.nocFabrics))
+	for i, f := range s.nocFabrics {
+		snaps[i] = f.Stats()
+	}
+	return snaps
+}
+
+// addNoCCost folds the interconnect activity since the given snapshot into
+// the solution's hardware estimate (fabrics created after the snapshot
+// contribute their full counts). Callers must hold s.mu.
+func (s *Solver) addNoCCost(sol *Solution, before []noc.Stats) {
+	if s.nocCfg == nil || sol.Hardware == nil {
+		return
+	}
+	var est perf.Estimate
+	for i, f := range s.nocFabrics {
+		cur := f.Stats()
+		var prev noc.Stats
+		if i < len(before) {
+			prev = before[i]
+		}
+		// Use the fabric's defaulted config so hop latency/energy defaults
+		// apply to the cost model.
+		est = est.Add(perf.NoCCost(cur.Sub(prev), f.Config()))
+	}
+	sol.Hardware.Latency += est.Latency
+	sol.Hardware.EnergyJoules += est.Energy
+}
+
+// Solve runs the selected engine on p: a one-shot convenience wrapper that
+// builds a fresh Solver per call (so crossbar variation draws are
+// reproducible per seed). Long-lived callers should keep a Solver.
+func Solve(p *Problem, eng Engine, opts ...Option) (*Solution, error) {
+	s, err := NewSolver(eng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), p)
+}
+
+// SolveBatch solves a sequence of problems sharing one constraint matrix on
+// a single persistent crossbar fabric (EngineCrossbar); see
+// Solver.SolveBatch. One-shot wrapper around a fresh Solver.
+func SolveBatch(problems []*Problem, opts ...Option) ([]*Solution, error) {
+	s, err := NewSolver(EngineCrossbar, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.SolveBatch(context.Background(), problems)
 }

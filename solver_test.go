@@ -1,0 +1,218 @@
+package memlp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allEngines enumerates every public engine once for table-driven tests.
+var allEngines = []Engine{
+	EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex,
+}
+
+func TestIncompatibleOptions(t *testing.T) {
+	tests := []struct {
+		name   string
+		engine Engine
+		opts   []Option
+	}{
+		{"variation on pdip", EnginePDIP, []Option{WithVariation(0.1)}},
+		{"seed on pdip-reduced", EnginePDIPReduced, []Option{WithSeed(7)}},
+		{"iobits on simplex", EngineSimplex, []Option{WithIOBits(8)}},
+		{"noc on pdip", EnginePDIP, []Option{WithNoC("mesh", 16)}},
+		{"wire resistance on simplex", EngineSimplex, []Option{WithWireResistance(1)}},
+		{"constant step on crossbar", EngineCrossbar, []Option{WithConstantStep(0.3)}},
+		{"literal fillers on pdip", EnginePDIP, []Option{WithLiteralFillers()}},
+		{"max iterations on simplex", EngineSimplex, []Option{WithMaxIterations(10)}},
+		{"alpha on simplex", EngineSimplex, []Option{WithAlpha(1.1)}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSolver(tc.engine, tc.opts...)
+			if !errors.Is(err, ErrIncompatibleOption) {
+				t.Errorf("err = %v, want ErrIncompatibleOption", err)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("err = %v, should also match ErrInvalid", err)
+			}
+		})
+	}
+
+	// Valid combinations must still construct.
+	valid := []struct {
+		name   string
+		engine Engine
+		opts   []Option
+	}{
+		{"bare simplex", EngineSimplex, nil},
+		{"pdip with iterations", EnginePDIP, []Option{WithMaxIterations(50)}},
+		{"crossbar full hardware", EngineCrossbar, []Option{
+			WithVariation(0.1), WithSeed(2), WithIOBits(8), WithNoC("hierarchical", 16)}},
+		{"large-scale alg2 knobs", EngineCrossbarLargeScale, []Option{
+			WithConstantStep(0.3), WithLiteralFillers(), WithSeed(1)}},
+	}
+	for _, tc := range valid {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSolver(tc.engine, tc.opts...)
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			if s.Engine() != tc.engine {
+				t.Errorf("Engine() = %v, want %v", s.Engine(), tc.engine)
+			}
+		})
+	}
+}
+
+// TestSolveCanceledContext pins the acceptance criterion: a Solve with an
+// already-canceled context returns promptly from every engine with
+// StatusCanceled and the wrapped context error, without panicking.
+func TestSolveCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := tiny(t)
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			s, err := NewSolver(eng)
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			start := time.Now()
+			sol, err := s.Solve(ctx, p)
+			if elapsed := time.Since(start); elapsed > 2*time.Second {
+				t.Errorf("canceled solve took %v, want prompt return", elapsed)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if sol == nil {
+				t.Fatal("canceled solve returned nil solution")
+			}
+			if sol.Status != StatusCanceled {
+				t.Errorf("status = %v, want %v", sol.Status, StatusCanceled)
+			}
+		})
+	}
+}
+
+// TestSolveBatchCanceledContext covers the batching path's cancellation.
+func TestSolveBatchCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	_, err = s.SolveBatch(ctx, []*Problem{tiny(t), tiny(t)})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolverConcurrent hammers one handle from many goroutines; run under
+// -race this pins the concurrency-safety contract. Without variation the
+// crossbar is deterministic, so every goroutine must see the same optimum.
+func TestSolverConcurrent(t *testing.T) {
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	ctx := context.Background()
+	p := tiny(t)
+	ref, err := s.Solve(ctx, p)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+
+	const goroutines, repeats = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*repeats)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < repeats; i++ {
+				sol, err := s.Solve(ctx, p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sol.Status != StatusOptimal {
+					errs <- errors.New("status " + sol.Status.String())
+					return
+				}
+				if math.Abs(sol.Objective-ref.Objective) > 1e-6 {
+					errs <- errors.New("objective drifted across concurrent solves")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSolverReuseAllocations pins the acceptance criterion: repeated
+// same-shape solves on one handle allocate at least 10× less than the
+// build-everything-per-call package-level Solve.
+func TestSolverReuseAllocations(t *testing.T) {
+	p, err := GenerateFeasible(8, 0, 1)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, p); err != nil {
+		t.Fatalf("warmup solve: %v", err)
+	}
+
+	reuse := testing.AllocsPerRun(10, func() {
+		if _, err := s.Solve(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	oneShot := testing.AllocsPerRun(10, func() {
+		if _, err := Solve(p, EngineCrossbar); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/solve: handle reuse %.0f, one-shot %.0f", reuse, oneShot)
+	if reuse*10 > oneShot {
+		t.Errorf("handle reuse allocates %.0f/solve vs %.0f one-shot; want ≥10× reduction", reuse, oneShot)
+	}
+}
+
+// TestSolveBatchPerSolveWallTime checks each batched Solution carries its own
+// measured wall time rather than a share of the batch total.
+func TestSolveBatchPerSolveWallTime(t *testing.T) {
+	problems := make([]*Problem, 4)
+	for i := range problems {
+		problems[i] = tiny(t)
+	}
+	sols, err := SolveBatch(problems, WithSeed(5))
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	allEqual := true
+	for i, sol := range sols {
+		if sol.WallTime <= 0 {
+			t.Errorf("solution %d: WallTime = %v, want > 0", i, sol.WallTime)
+		}
+		if sol.WallTime != sols[0].WallTime {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("all batched WallTimes identical — looks like a divided batch total, not per-solve measurement")
+	}
+}
