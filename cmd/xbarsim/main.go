@@ -7,12 +7,19 @@
 // Usage:
 //
 //	xbarsim -size 64 [-variation 0.1] [-iobits 8] [-writebits 14] \
-//	        [-wire 0] [-trials 20] [-seed 1]
+//	        [-wire 0] [-faults 0.01] [-writeretries 3] [-trials 20] [-seed 1]
 //
 // For each trial a random diagonally-dominant non-negative matrix and a
 // random input vector are drawn; the tool reports the relative error of the
 // analog mat-vec and the analog solve against exact linear algebra, as mean,
 // median and worst-case over the trials.
+//
+// With -faults the given fraction of cells is stuck (half at maximum
+// conductance, half at zero; fresh placement each trial), the post-program
+// defect census and write-verify retry counts are reported, and analog
+// solves that the defects render singular are counted as failures instead of
+// aborting the run — this is the raw-substrate view of the yield experiment
+// (the LP-level recovery ladder lives above this layer).
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/memristor"
 	"github.com/memlp/memlp/internal/variation"
 )
 
@@ -44,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ioBits    = fs.Int("iobits", 8, "DAC/ADC precision")
 		writeBits = fs.Int("writebits", 14, "conductance write precision")
 		wire      = fs.Float64("wire", 0, "wire resistance per segment (Ω)")
+		faults    = fs.Float64("faults", 0, "stuck-cell density (split evenly stuck-ON/OFF, e.g. 0.01)")
+		retries   = fs.Int("writeretries", 0, "write-verify corrective pulses per cell (0 = open-loop)")
 		trials    = fs.Int("trials", 20, "number of random trials")
 		seed      = fs.Int64("seed", 1, "random seed")
 	)
@@ -62,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	r := rand.New(rand.NewSource(*seed))
 	var mvErrs, solveErrs []float64
+	var stuckOn, stuckOff, solveFailures int
+	var retriesUsed int64
 
 	for trial := 0; trial < *trials; trial++ {
 		if ctx.Err() != nil {
@@ -73,10 +85,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			break
 		}
 		cfg := crossbar.Config{
-			Size:           *size,
-			IOBits:         *ioBits,
-			WriteBits:      *writeBits,
-			WireResistance: *wire,
+			Size:            *size,
+			IOBits:          *ioBits,
+			WriteBits:       *writeBits,
+			WireResistance:  *wire,
+			MaxWriteRetries: *retries,
+		}
+		if *faults > 0 {
+			fm := memristor.FaultModel{
+				StuckOnDensity:  *faults / 2,
+				StuckOffDensity: *faults / 2,
+				Seed:            *seed + int64(trial),
+			}
+			if err := fm.Validate(); err != nil {
+				fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+				return 2
+			}
+			cfg.Faults = &fm
 		}
 		if *varPct > 0 {
 			vm, err := variation.NewPaperModel(*varPct, *seed+int64(trial))
@@ -103,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "xbarsim: program: %v\n", err)
 			return 1
 		}
+		census := xb.FaultCensus()
+		stuckOn += census.StuckOn
+		stuckOff += census.StuckOff
+		retriesUsed += xb.Counters().WriteRetries
 
 		v := linalg.NewVector(*size)
 		for i := range v {
@@ -127,6 +156,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sol, err := xb.Solve(b)
 		if err != nil {
+			// Stuck cells can make the analog network singular; that is a
+			// data point, not a tool failure.
+			if *faults > 0 {
+				solveFailures++
+				continue
+			}
 			fmt.Fprintf(stderr, "xbarsim: solve: %v\n", err)
 			return 1
 		}
@@ -140,6 +175,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "crossbar %dx%d, variation %.0f%%, %d-bit I/O, %d-bit writes, wire %.2g Ω (%d trials)\n",
 		*size, *size, *varPct*100, *ioBits, *writeBits, *wire, *trials)
+	if *faults > 0 {
+		fmt.Fprintf(stdout, "  faults: density %.3g%% → %d stuck-ON, %d stuck-OFF across %d trials; %d analog solves failed\n",
+			*faults*100, stuckOn, stuckOff, len(mvErrs), solveFailures)
+	}
+	if *retries > 0 {
+		fmt.Fprintf(stdout, "  write-verify: %d corrective pulses (≤%d per cell)\n", retriesUsed, *retries)
+	}
 	report(stdout, "mat-vec relative error", mvErrs)
 	report(stdout, "solve   relative error", solveErrs)
 	return 0
@@ -158,6 +200,10 @@ func relErr(got, want linalg.Vector) float64 {
 }
 
 func report(w io.Writer, label string, errs []float64) {
+	if len(errs) == 0 {
+		fmt.Fprintf(w, "  %s: no successful trials\n", label)
+		return
+	}
 	sort.Float64s(errs)
 	var sum float64
 	for _, e := range errs {

@@ -1,0 +1,112 @@
+package memlp
+
+// Fuzz target for the validation and solve pipeline: arbitrary byte soup is
+// decoded into problem data (naturally producing NaN/Inf coefficients, zero
+// dimensions, m > n shapes, and rank-deficient matrices) and fed through
+// NewProblem and every fast engine. The contract under fuzzing is strict:
+// malformed inputs fail with errors matching ErrInvalid, solvable inputs
+// return a Solution with a meaningful Status — and nothing ever panics.
+//
+// Run locally with: go test -fuzz=FuzzSolve -fuzztime=30s .
+// The seed corpus lives in testdata/fuzz/FuzzSolve.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzValues decodes count float64s from payload (little-endian, cycling
+// from the start when the payload runs short; an empty payload yields ones).
+func fuzzValues(payload []byte, count int) []float64 {
+	vals := make([]float64, count)
+	if len(payload) < 8 {
+		for i := range vals {
+			vals[i] = 1
+		}
+		return vals
+	}
+	pos := 0
+	for i := range vals {
+		if pos+8 > len(payload) {
+			pos = 0
+		}
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos : pos+8]))
+		pos += 8
+	}
+	return vals
+}
+
+func FuzzSolve(f *testing.F) {
+	le := func(v float64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		return b[:]
+	}
+	// Well-formed 2x2, NaN data, +Inf data, zero dimensions, m > n, and a
+	// rank-deficient repeating payload.
+	f.Add(2, 2, append(append(le(1), le(2)...), le(3)...))
+	f.Add(3, 3, le(math.NaN()))
+	f.Add(2, 2, le(math.Inf(1)))
+	f.Add(0, 4, []byte{})
+	f.Add(8, 2, le(1.5))
+	f.Add(4, 4, le(2))
+
+	f.Fuzz(func(t *testing.T, mRaw, nRaw int, payload []byte) {
+		m := mRaw % 9
+		n := nRaw % 9
+		if m < 0 {
+			m = -m
+		}
+		if n < 0 {
+			n = -n
+		}
+		vals := fuzzValues(payload, m*n+m+n)
+		c := vals[:n]
+		b := vals[n : n+m]
+		rows := make([][]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = vals[n+m+i*n : n+m+(i+1)*n]
+		}
+
+		p, err := NewProblem("fuzz", c, rows, b)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("NewProblem error not typed ErrInvalid: %v", err)
+			}
+			return
+		}
+
+		for _, eng := range []Engine{EnginePDIPReduced, EngineSimplex, EngineCrossbar} {
+			var opts []Option
+			if eng != EngineSimplex {
+				opts = append(opts, WithMaxIterations(40))
+			}
+			sol, err := Solve(p, eng, opts...)
+			if err != nil {
+				continue // honest failure; only panics and lies are bugs
+			}
+			if sol == nil {
+				t.Fatalf("%v: nil solution and nil error", eng)
+			}
+			switch sol.Status {
+			case StatusOptimal, StatusInfeasible, StatusUnbounded,
+				StatusIterationLimit, StatusNumericalFailure,
+				StatusCanceled, StatusDegraded:
+			default:
+				t.Fatalf("%v: unknown status %d", eng, int(sol.Status))
+			}
+			if sol.Status == StatusOptimal {
+				if math.IsNaN(sol.Objective) {
+					t.Fatalf("%v: optimal with NaN objective", eng)
+				}
+				for _, x := range sol.X {
+					if math.IsNaN(x) {
+						t.Fatalf("%v: optimal with NaN solution entry", eng)
+					}
+				}
+			}
+		}
+	})
+}

@@ -26,8 +26,10 @@ func (s *Solver) SolveBatch(problems []*lp.Problem) ([]*Result, error) {
 
 // SolveBatchContext is SolveBatch with cancellation: the context is checked
 // before each problem and once per iteration inside each solve. On
-// cancellation the completed results are discarded and the wrapped context
-// error is returned.
+// cancellation the results completed so far are returned alongside the
+// wrapped context error — matching the single-solve contract, where the
+// interrupted solve's partial iterate (lp.StatusCanceled) accompanies the
+// error. The canceled solve's own partial result is the last element.
 //
 // Each result's Counters and WallTime are the per-solve marginals; the first
 // result carries the one-time fabric programming cost.
@@ -53,7 +55,6 @@ func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) 
 	// differ, so the batch uses A-only scaling to keep the programmed
 	// A-blocks valid for every instance.
 	n, m := first.NumVariables(), first.NumConstraints()
-	_ = n
 	scales := make([]float64, m)
 	aShared := first.A.Clone()
 	for i := 0; i < m; i++ {
@@ -82,7 +83,7 @@ func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) 
 	results := make([]*Result, 0, len(problems))
 	for idx, p := range problems {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: batch canceled before problem %d: %w", idx, err)
+			return results, fmt.Errorf("core: batch canceled before problem %d: %w", idx, err)
 		}
 		// Scale this instance's b by the shared row scales.
 		b := p.B.Clone()
@@ -109,7 +110,7 @@ func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) 
 		}
 
 		solveStart := time.Now()
-		res, err := s.solveOnFabric(ctx, scaled, p, scales, ext, fab)
+		res, ctxErr, err := s.solveOnFabric(ctx, scaled, p, scales, ext, fab)
 		if err != nil {
 			return nil, fmt.Errorf("problem %d: %w", idx, err)
 		}
@@ -120,6 +121,9 @@ func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) 
 		res.Counters = cum.Sub(prevCounters)
 		prevCounters = cum
 		results = append(results, res)
+		if ctxErr != nil {
+			return results, fmt.Errorf("problem %d: %w", idx, ctxErr)
+		}
 	}
 	return results, nil
 }
@@ -127,8 +131,10 @@ func (s *Solver) SolveBatchContext(ctx context.Context, problems []*lp.Problem) 
 // solveOnFabric runs the Algorithm 1 iteration on an already-programmed
 // fabric, resetting the complementarity rows to the all-ones start first.
 // scaled is the equilibrated problem driving the iteration; orig is used
-// for the final α-check and objective; scales unscale the duals.
-func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, scales []float64, ext *extended, fab Fabric) (*Result, error) {
+// for the final α-check and objective; scales unscale the duals. It follows
+// the solveOnce contract: (result, ctxErr, err), where an interruption
+// returns the partial iterate with lp.StatusCanceled in ctxErr's company.
+func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, scales []float64, ext *extended, fab Fabric) (*Result, error, error) {
 	n, m := scaled.NumVariables(), scaled.NumConstraints()
 	tol := s.opts.Tol
 
@@ -141,7 +147,7 @@ func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, sc
 	ext.fillDiagRows(x, y, w, z)
 	for _, u := range ext.diagRowUpdates(x, y, w, z) {
 		if err := fab.UpdateRow(u.index, u.row); err != nil {
-			return nil, fmt.Errorf("core: resetting fabric row: %w", err)
+			return nil, nil, fmt.Errorf("core: resetting fabric row: %w", err)
 		}
 	}
 
@@ -157,17 +163,20 @@ func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, sc
 	stall := 0
 	prevNorm := 0.0
 	best := snapshot{score: infNaN()}
+	var ctxErr error
 
 	for iter := 1; iter <= tol.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+			res.Status = lp.StatusCanceled
+			ctxErr = fmt.Errorf("core: solve canceled at iteration %d: %w", iter, err)
+			break
 		}
 		res.Iterations = iter
 		gap := dualityGap(x, z, y, w)
 		mu := tol.Delta * gap / float64(n+m)
 		r, err := fab.MatVecResidual(ext.baseVector(scaled, mu), sExt, factor)
 		if err != nil {
-			return nil, fmt.Errorf("core: residual mat-vec: %w", err)
+			return nil, nil, fmt.Errorf("core: residual mat-vec: %w", err)
 		}
 		res.PrimalInfeasibility = normInfRange(r, ext.rowR1(0), ext.m)
 		res.DualInfeasibility = normInfRange(r, ext.rowR2(0), ext.n)
@@ -218,13 +227,13 @@ func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, sc
 			{x, dx}, {y, dy}, {w, dw}, {z, dz},
 		})
 		if err := sExt.AxpyInPlace(theta, ds); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		clampPositive(x, y, w, z)
 		ext.fillDiagRows(x, y, w, z)
 		for _, u := range ext.diagRowUpdates(x, y, w, z) {
 			if err := fab.UpdateRow(u.index, u.row); err != nil {
-				return nil, fmt.Errorf("core: updating fabric row: %w", err)
+				return nil, nil, fmt.Errorf("core: updating fabric row: %w", err)
 			}
 		}
 	}
@@ -245,14 +254,14 @@ func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, sc
 	}
 	obj, err := orig.Objective(res.X)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Objective = obj
 
 	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
 		ok, err := orig.IsFeasible(res.X, s.opts.Alpha-1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok {
 			res.Status = classifyRejected(finalX, finalY, finalW, finalZ)
@@ -260,5 +269,5 @@ func (s *Solver) solveOnFabric(ctx context.Context, scaled, orig *lp.Problem, sc
 			res.Status = lp.StatusOptimal
 		}
 	}
-	return res, nil
+	return res, ctxErr, nil
 }

@@ -87,6 +87,23 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.opts.Recovery != nil {
+		// The recovery ladder subsumes the double-check loop below as its
+		// rung 1 (same MaxResolves budget) and adds remap + software rungs.
+		res, err := runRecoveryLadder(ctx, p, s.opts, ladderFuncs{
+			attempt: func(ctx context.Context) (*Result, error, error) {
+				return s.solveOnce(ctx, p)
+			},
+			census: s.censusBoth,
+			remap:  s.remapFabrics,
+			// No resetFresh: remap offsets must survive between attempts,
+			// and solveOnce re-Programs (= fresh variation draws) anyway.
+		})
+		if res != nil {
+			res.WallTime = time.Since(start)
+		}
+		return res, err
+	}
 	var last *Result
 	var counters crossbar.Counters
 	for attempt := 0; attempt <= s.opts.MaxResolves; attempt++ {
@@ -113,6 +130,31 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 		s.fab1Size, s.fab2Size = 0, 0
 	}
 	return last, nil
+}
+
+// censusBoth tallies stuck cells across both of Algorithm 2's fabrics.
+func (s *LargeScaleSolver) censusBoth() crossbar.FaultCensus {
+	var c crossbar.FaultCensus
+	for _, fab := range []Fabric{s.fab1, s.fab2} {
+		if fr, ok := fab.(FaultReporter); ok {
+			fc := fr.FaultCensus()
+			c.StuckOn += fc.StuckOn
+			c.StuckOff += fc.StuckOff
+			c.Mapped += fc.Mapped
+		}
+	}
+	return c
+}
+
+// remapFabrics asks both fabrics to dodge their stuck cells (rung 2).
+func (s *LargeScaleSolver) remapFabrics() bool {
+	moved := false
+	for _, fab := range []Fabric{s.fab1, s.fab2} {
+		if r, ok := fab.(Remapper); ok && r.RemapAvoidingFaults() {
+			moved = true
+		}
+	}
+	return moved
 }
 
 // lsSystem holds the first system M1. Columns are [Δx(n) | Δy(m) | Δp(q)]:

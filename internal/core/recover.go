@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/pdip"
+)
+
+// RecoveryPolicy configures the escalation ladder that generalizes the
+// paper's §4.3 "double checking scheme". The paper retries a failed
+// Algorithm 2 solve once on freshly written coefficients; with permanent
+// defects in the array a rewrite is not enough, so the ladder adds two more
+// rungs:
+//
+//	rung 1 — re-solve on the same fabric (fresh writes, fresh variation
+//	         draws), up to Options.MaxResolves extra attempts;
+//	rung 2 — remap the programmed matrix onto a different physical region
+//	         of the array, avoiding the stuck cells found by the census,
+//	         then re-solve once;
+//	rung 3 — abandon the analog path and solve in software (dense-LU PDIP);
+//	         an optimal answer from this rung is reported as
+//	         lp.StatusDegraded, because it is correct but was not computed
+//	         in-memory.
+//
+// The zero value (no policy) preserves the legacy behavior exactly:
+// Algorithm 1 fails fast, Algorithm 2 re-solves per MaxResolves.
+type RecoveryPolicy struct {
+	// Remap enables rung 2 on fabrics that support it (see Remapper).
+	Remap bool
+	// SoftwareFallback enables rung 3.
+	SoftwareFallback bool
+}
+
+// Diagnostics reports what the fault-recovery machinery observed and did
+// during one solve. It is attached to the Result whenever a RecoveryPolicy
+// is configured.
+type Diagnostics struct {
+	// StuckOn / StuckOff count the defective devices inside the fabric's
+	// mapped region (post-program census; zero when the fabric cannot
+	// report faults).
+	StuckOn  int
+	StuckOff int
+	// WriteRetries is the number of write-verify corrective pulses consumed
+	// across all attempts of this solve.
+	WriteRetries int64
+	// Attempts is the total number of analog solve attempts, across all
+	// rungs (1 for a clean first-try solve).
+	Attempts int
+	// Remapped records that rung 2 moved the mapping to a new origin.
+	Remapped bool
+	// SoftwareFallback records that rung 3 ran.
+	SoftwareFallback bool
+	// RecoveredBy names the rung that produced the returned result:
+	// "" (first attempt), "resolve", "remap", or "software".
+	RecoveredBy string
+}
+
+// FaultReporter is implemented by fabrics that can census their mapped
+// region for permanent defects (a *crossbar.Crossbar with a fault model).
+type FaultReporter interface {
+	FaultCensus() crossbar.FaultCensus
+}
+
+// Remapper is implemented by fabrics that can move the programmed matrix to
+// a different physical region to dodge stuck cells. RemapAvoidingFaults
+// returns true when the mapping moved; the fabric is then unprogrammed and
+// the next Program call writes the new region.
+type Remapper interface {
+	RemapAvoidingFaults() bool
+}
+
+// Compile-time checks: a single crossbar supports the full ladder.
+var (
+	_ FaultReporter = (*crossbar.Crossbar)(nil)
+	_ Remapper      = (*crossbar.Crossbar)(nil)
+)
+
+// ladderFuncs adapts one solver (Algorithm 1 or 2) to the shared ladder.
+type ladderFuncs struct {
+	// attempt runs one full analog solve attempt. Same contract as
+	// solveOnce: (result, ctxErr, hard error).
+	attempt func(ctx context.Context) (*Result, error, error)
+	// census tallies stuck cells across the solver's fabric(s); nil when no
+	// fabric is built yet or none can report.
+	census func() crossbar.FaultCensus
+	// remap asks the fabric(s) to move off their defects; nil or returning
+	// false skips rung 2.
+	remap func() bool
+	// resetFresh drops cached fabrics so the next attempt rebuilds them
+	// (Algorithm 2's fresh-fabric double-check semantics); may be nil.
+	resetFresh func()
+}
+
+// analogAnswerConsistent is the digital half of the double-check scheme,
+// extended from primal feasibility (the α-check the solvers already run) to
+// optimality. A stuck cell perturbs the realized constraint matrix, so the
+// analog loop can converge — and pass the α-check — on the optimum of the
+// WRONG problem. Optimality of the true problem is cheap to check digitally
+// (O(mn), versus the O(N³)-equivalent solve): the claimed primal/dual pair
+// must close the duality gap, cᵀx ≈ bᵀy, and satisfy dual feasibility
+// Aᵀy ≥ c, both against the TRUE coefficients and within the analog
+// tolerance. Dimension mismatches skip the check (nothing to compare).
+func analogAnswerConsistent(p *lp.Problem, res *Result, tol float64) bool {
+	m, n := p.A.Rows(), p.A.Cols()
+	if len(res.X) != n || len(res.Y) != m {
+		return true
+	}
+	primal, err := p.Objective(res.X)
+	if err != nil {
+		return true
+	}
+	var dual float64
+	for i, y := range res.Y {
+		dual += p.B[i] * y
+	}
+	if math.Abs(primal-dual) > tol*(1+math.Abs(primal)+math.Abs(dual)) {
+		return false
+	}
+	for j := 0; j < n; j++ {
+		var aty float64
+		for i := 0; i < m; i++ {
+			aty += p.A.At(i, j) * res.Y[i]
+		}
+		if aty < p.C[j]-tol*(1+math.Abs(p.C[j])) {
+			return false
+		}
+	}
+	return true
+}
+
+// crossCheckTol derives the optimality-check tolerance from the solve's
+// α-relaxation: under variation v, α ≈ 1+2v and the optimum legitimately
+// moves by O(v), so the gap check must not reject honest analog answers.
+func crossCheckTol(opts Options) float64 {
+	alpha := opts.Alpha
+	if alpha < 1 {
+		alpha = 1.05
+	}
+	return 0.05 + 2*(alpha-1)
+}
+
+// needsEscalation decides whether a finished attempt's outcome warrants
+// climbing to the next rung. Hard non-answers always escalate. Infeasible
+// and unbounded classifications escalate only when the fabric is known to
+// carry defects: a stuck cell perturbs the realized constraint matrix, so a
+// "diverged" dual ray may be an artifact of the faults rather than a
+// property of the problem — silently trusting it would be a wrong answer
+// with a confident label. On a defect-free fabric the classification stands.
+func needsEscalation(status lp.Status, faultsPresent bool) bool {
+	switch status {
+	case lp.StatusNumericalFailure, lp.StatusIterationLimit:
+		return true
+	case lp.StatusInfeasible, lp.StatusUnbounded:
+		return faultsPresent
+	}
+	return false
+}
+
+// runRecoveryLadder drives the escalation ladder for one solve. The caller
+// holds the solver's mutex and has validated the problem.
+func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladderFuncs) (*Result, error) {
+	rec := opts.Recovery
+	diag := &Diagnostics{}
+	var counters crossbar.Counters
+	var last *Result
+
+	finish := func(res *Result, rung string) *Result {
+		diag.RecoveredBy = rung
+		diag.WriteRetries = counters.WriteRetries
+		res.Diagnostics = diag
+		res.Resolves = diag.Attempts - 1
+		return res
+	}
+
+	attemptOnce := func() (*Result, error, error) {
+		res, ctxErr, err := f.attempt(ctx)
+		if res != nil {
+			diag.Attempts++
+			counters = counters.Add(res.Counters)
+			res.Counters = counters
+		}
+		return res, ctxErr, err
+	}
+
+	refreshCensus := func() {
+		if f.census == nil {
+			return
+		}
+		c := f.census()
+		diag.StuckOn, diag.StuckOff = c.StuckOn, c.StuckOff
+	}
+
+	// acceptable reports whether an attempt's outcome ends the ladder: the
+	// status must not warrant escalation, and on a fabric with known defects
+	// an "optimal" claim must additionally survive the digital optimality
+	// cross-check — a fault-perturbed matrix can yield a confidently wrong
+	// optimum that the α-check alone cannot see.
+	acceptable := func(res *Result) bool {
+		faults := diag.StuckOn+diag.StuckOff > 0
+		if needsEscalation(res.Status, faults) {
+			return false
+		}
+		if res.Status == lp.StatusOptimal && faults {
+			return analogAnswerConsistent(p, res, crossCheckTol(opts))
+		}
+		return true
+	}
+
+	// Rung 1: the initial attempt plus up to MaxResolves re-solves on the
+	// same (re-written) fabric.
+	for attempt := 0; attempt <= opts.MaxResolves; attempt++ {
+		res, ctxErr, err := attemptOnce()
+		if err != nil {
+			return nil, err
+		}
+		refreshCensus()
+		if ctxErr != nil {
+			return finish(res, ""), ctxErr
+		}
+		if acceptable(res) {
+			rung := ""
+			if attempt > 0 {
+				rung = "resolve"
+			}
+			return finish(res, rung), nil
+		}
+		last = res
+		if f.resetFresh != nil && attempt < opts.MaxResolves {
+			f.resetFresh()
+		}
+	}
+
+	// Rung 2: remap away from the stuck cells and try once more.
+	if rec.Remap && f.remap != nil && f.remap() {
+		diag.Remapped = true
+		res, ctxErr, err := attemptOnce()
+		if err != nil {
+			return nil, err
+		}
+		refreshCensus()
+		if ctxErr != nil {
+			return finish(res, "remap"), ctxErr
+		}
+		if acceptable(res) {
+			return finish(res, "remap"), nil
+		}
+		last = res
+	}
+
+	// Rung 3: software fallback. Its classification is exact (no analog
+	// noise), so infeasible/unbounded verdicts are reported directly; an
+	// optimum is honest about its provenance via StatusDegraded.
+	if rec.SoftwareFallback {
+		diag.SoftwareFallback = true
+		res, err := softwareSolve(ctx, p)
+		if err != nil {
+			if res == nil {
+				return nil, err
+			}
+			res.Counters = counters
+			return finish(res, "software"), err
+		}
+		if res.Status == lp.StatusOptimal {
+			res.Status = lp.StatusDegraded
+		}
+		res.Counters = counters
+		return finish(res, "software"), nil
+	}
+
+	return finish(last, ""), nil
+}
+
+// softwareSolve is rung 3: the dense-LU software PDIP at default tolerances
+// (the hardware-oriented stall/alpha machinery does not apply). The returned
+// Result carries no fabric counters; the caller attaches the ones already
+// spent on the failed analog attempts.
+func softwareSolve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	sw, err := pdip.New(pdip.WithBackend(pdip.NewtonFull))
+	if err != nil {
+		return nil, fmt.Errorf("core: building software fallback: %w", err)
+	}
+	r, err := sw.SolveContext(ctx, p)
+	if r == nil {
+		return nil, err
+	}
+	res := &Result{
+		Status:              r.Status,
+		X:                   r.X,
+		Y:                   r.Y,
+		W:                   r.W,
+		Z:                   r.Z,
+		Objective:           r.Objective,
+		Iterations:          r.Iterations,
+		PrimalInfeasibility: r.PrimalInfeasibility,
+		DualInfeasibility:   r.DualInfeasibility,
+		DualityGap:          r.DualityGap,
+	}
+	return res, err
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// reduced-KKT diagonals (see the LargeScaleSolver doc). Unstable for
 	// m ≠ n; kept for the AB2 ablation. Ignored by Algorithm 1.
 	LiteralFillers bool
+	// Recovery enables the fault-recovery escalation ladder shared by both
+	// algorithms (see RecoveryPolicy): rung 1 re-solves per MaxResolves,
+	// rung 2 remaps off stuck cells, rung 3 falls back to software. Nil
+	// preserves the legacy behavior exactly (Algorithm 1 fails fast,
+	// Algorithm 2 re-solves per MaxResolves only).
+	Recovery *RecoveryPolicy
 	// Trace, when non-nil, receives per-iteration telemetry.
 	Trace func(t TraceEntry)
 }
@@ -125,10 +131,14 @@ type Result struct {
 	Counters crossbar.Counters
 	// MatrixSize is the extended system dimension programmed on the fabric.
 	MatrixSize int
-	// Resolves counts Algorithm 2 re-solve attempts that were consumed.
+	// Resolves counts re-solve attempts that were consumed (Algorithm 2's
+	// double-check, or any rung-1 retry of the recovery ladder).
 	Resolves int
 	// WallTime is the wall-clock duration of this individual solve.
 	WallTime time.Duration
+	// Diagnostics carries fault and recovery telemetry; non-nil only when
+	// Options.Recovery is configured.
+	Diagnostics *Diagnostics
 }
 
 // Solver is Algorithm 1: the memristor crossbar-based linear program solver.
@@ -180,7 +190,8 @@ func (s *Solver) Solve(p *lp.Problem) (*Result, error) {
 // SolveContext runs Algorithm 1 on p, honoring cancellation and deadlines:
 // the context is checked once per iteration, and an interrupted solve
 // returns its partial iterate with lp.StatusCanceled alongside the wrapped
-// context error.
+// context error. With Options.Recovery configured, a failed attempt climbs
+// the recovery-escalation ladder instead of being returned directly.
 func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -188,6 +199,46 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.opts.Recovery == nil {
+		res, ctxErr, err := s.solveAttempt(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		res.WallTime = time.Since(start)
+		return res, ctxErr
+	}
+	res, err := runRecoveryLadder(ctx, p, s.opts, ladderFuncs{
+		attempt: func(ctx context.Context) (*Result, error, error) {
+			return s.solveAttempt(ctx, p)
+		},
+		census: s.census,
+		remap:  s.remapFabric,
+	})
+	if res != nil {
+		res.WallTime = time.Since(start)
+	}
+	return res, err
+}
+
+// census tallies the stuck cells on the cached fabric, when it can report.
+func (s *Solver) census() crossbar.FaultCensus {
+	if fr, ok := s.fab.(FaultReporter); ok {
+		return fr.FaultCensus()
+	}
+	return crossbar.FaultCensus{}
+}
+
+// remapFabric asks the cached fabric to dodge its stuck cells (rung 2).
+func (s *Solver) remapFabric() bool {
+	r, ok := s.fab.(Remapper)
+	return ok && r.RemapAvoidingFaults()
+}
+
+// solveAttempt runs one full Algorithm 1 attempt. It returns (result,
+// ctxErr, err) with the solveOnce contract: ctxErr non-nil means the attempt
+// was interrupted (the result carries the partial iterate); err is a hard
+// failure with no usable result. Callers must hold s.mu.
+func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, error, error) {
 	n, m := p.NumVariables(), p.NumConstraints()
 	tol := s.opts.Tol
 
@@ -203,16 +254,16 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 
 	ext, err := newExtendedInto(s.ext, p, x, y, w, z)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.ext = ext
 	fab, err := s.fabric(ext.size)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	countersBase := fab.Counters()
 	if err := fab.Program(ext.matrix); err != nil {
-		return nil, fmt.Errorf("core: programming fabric: %w", err)
+		return nil, nil, fmt.Errorf("core: programming fabric: %w", err)
 	}
 
 	// The full extended state s = [x, y, w, z, u, v, p] is updated as one
@@ -257,7 +308,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		// large-product cancellation noise.
 		r, err := fab.MatVecResidual(ext.baseVector(p, mu), sExt, factor)
 		if err != nil {
-			return nil, fmt.Errorf("core: residual mat-vec: %w", err)
+			return nil, nil, fmt.Errorf("core: residual mat-vec: %w", err)
 		}
 
 		// Convergence measures come from the measured residual (the analog
@@ -309,7 +360,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 				res.Status = lp.StatusNumericalFailure
 				break
 			}
-			return nil, fmt.Errorf("core: analog solve: %w", err)
+			return nil, nil, fmt.Errorf("core: analog solve: %w", err)
 		}
 		dx, dy, dw, dz := ext.split(ds)
 		if !dx.AllFinite() || !dy.AllFinite() || !dw.AllFinite() || !dz.AllFinite() {
@@ -333,7 +384,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		// One summing-amplifier update of the whole extended state
 		// (x, y, w, z views alias sExt).
 		if err := sExt.AxpyInPlace(theta, ds); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		clampPositive(x, y, w, z)
 
@@ -346,11 +397,11 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 					// Row outgrew the programmed headroom: reprogram the
 					// full array (counted as a full rewrite).
 					if err := fab.Program(ext.matrix); err != nil {
-						return nil, fmt.Errorf("core: reprogramming fabric: %w", err)
+						return nil, nil, fmt.Errorf("core: reprogramming fabric: %w", err)
 					}
 					break
 				}
-				return nil, fmt.Errorf("core: updating fabric row: %w", err)
+				return nil, nil, fmt.Errorf("core: updating fabric row: %w", err)
 			}
 		}
 	}
@@ -372,7 +423,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	res.X, res.Y, res.W, res.Z = x, y, w, z
 	obj, err := p.Objective(x)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Objective = obj
 	res.Counters = fab.Counters().Sub(countersBase)
@@ -385,7 +436,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	if res.Status == lp.StatusOptimal || res.Status == lp.StatusIterationLimit {
 		ok, err := p.IsFeasible(x, s.opts.Alpha-1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !ok {
 			res.Status = classifyRejected(finalX, finalY, finalW, finalZ)
@@ -393,8 +444,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 			res.Status = lp.StatusOptimal
 		}
 	}
-	res.WallTime = time.Since(start)
-	return res, ctxErr
+	return res, ctxErr, nil
 }
 
 // snapshot keeps the best iterate seen, scored by the worst of the measured

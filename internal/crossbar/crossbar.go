@@ -94,6 +94,21 @@ type Config struct {
 	// g_eff = g / (1 + g·Rw·(dist_wl + dist_bl)). Zero disables the effect
 	// (the paper's idealization); the AB7 ablation sweeps it.
 	WireResistance float64
+	// Faults models permanent device defects (stuck-at-ON/OFF cells, extra
+	// programming noise, retention drift); nil disables faults. Placement is
+	// deterministic per the model's seed over PHYSICAL coordinates, so
+	// remapping the programmed region moves it relative to the defects.
+	Faults *memristor.FaultModel
+	// MaxWriteRetries enables write-verify programming: after each cell
+	// write the controller reads the realized conductance back and, while it
+	// is off-target by more than WriteVerifyTol, issues up to this many
+	// corrective pulses (each halving the residual programming error — the
+	// standard closed-loop program-and-verify convergence model). Zero
+	// disables verification (every write is open-loop, as the paper assumes).
+	MaxWriteRetries int
+	// WriteVerifyTol is the relative conductance tolerance the verify loop
+	// accepts. Zero means 0.01 (1%). Only used with MaxWriteRetries > 0.
+	WriteVerifyTol float64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRowSum == 0 {
 		c.MaxRowSum = 0.5
+	}
+	if c.MaxWriteRetries > 0 && c.WriteVerifyTol == 0 {
+		c.WriteVerifyTol = 0.01
 	}
 	return c
 }
@@ -143,14 +161,29 @@ func (c Config) validate() error {
 	if c.WireResistance < 0 {
 		return fmt.Errorf("%w: wire resistance %v", ErrBadConfig, c.WireResistance)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	if c.MaxWriteRetries < 0 {
+		return fmt.Errorf("%w: max write retries %d", ErrBadConfig, c.MaxWriteRetries)
+	}
+	if c.WriteVerifyTol < 0 || c.WriteVerifyTol >= 1 {
+		return fmt.Errorf("%w: write verify tolerance %v", ErrBadConfig, c.WriteVerifyTol)
+	}
 	return nil
 }
 
 // Counters accumulates the operation counts the performance estimator
 // consumes. Counts are cumulative since construction.
 type Counters struct {
-	// CellWrites is the number of device programming operations.
+	// CellWrites is the number of device programming operations, including
+	// write-verify corrective pulses.
 	CellWrites int64
+	// WriteRetries is the number of corrective pulses issued by the
+	// write-verify loop (a subset of CellWrites; zero without verification).
+	WriteRetries int64
 	// MatVecOps is the number of analog multiply operations.
 	MatVecOps int64
 	// SolveOps is the number of analog linear-system solves.
@@ -163,6 +196,7 @@ type Counters struct {
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
 		CellWrites:    c.CellWrites + o.CellWrites,
+		WriteRetries:  c.WriteRetries + o.WriteRetries,
 		MatVecOps:     c.MatVecOps + o.MatVecOps,
 		SolveOps:      c.SolveOps + o.SolveOps,
 		IOConversions: c.IOConversions + o.IOConversions,
@@ -176,6 +210,7 @@ func (c Counters) Add(o Counters) Counters {
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
 		CellWrites:    c.CellWrites - o.CellWrites,
+		WriteRetries:  c.WriteRetries - o.WriteRetries,
 		MatVecOps:     c.MatVecOps - o.MatVecOps,
 		SolveOps:      c.SolveOps - o.SolveOps,
 		IOConversions: c.IOConversions - o.IOConversions,
@@ -204,6 +239,19 @@ type Crossbar struct {
 	// conductance target: a write pulse is only issued — and only counted —
 	// when the target actually changes.
 	progTarget *linalg.Matrix
+	// rowOff/colOff place the logical matrix inside the physical array.
+	// Nonzero after RemapAvoidingFaults moved the mapping off defective rows;
+	// fault placement is keyed to PHYSICAL coordinates, so the offset decides
+	// which defects the mapped region inherits.
+	rowOff, colOff int
+	// writeSeq numbers write attempts for the fault model's deterministic
+	// per-attempt programming noise.
+	writeSeq int
+	// driftCycle counts refresh cycles (one per analog settle) for the
+	// retention-drift model; cellCycle records the cycle each cell was last
+	// programmed in. Both unused unless the fault model enables drift.
+	driftCycle float64
+	cellCycle  *linalg.Matrix
 
 	counters Counters
 
@@ -292,8 +340,8 @@ func (x *Crossbar) Programmed() bool { return x.target != nil }
 // Every cell of the mapped region is physically written: the call costs
 // rows·cols cell writes.
 func (x *Crossbar) Program(a *linalg.Matrix) error {
-	if a.Rows() > x.cfg.Size || a.Cols() > x.cfg.Size {
-		return fmt.Errorf("%w: %dx%d into %d", ErrTooLarge, a.Rows(), a.Cols(), x.cfg.Size)
+	if a.Rows()+x.rowOff > x.cfg.Size || a.Cols()+x.colOff > x.cfg.Size {
+		return fmt.Errorf("%w: %dx%d at offset (%d,%d) into %d", ErrTooLarge, a.Rows(), a.Cols(), x.rowOff, x.colOff, x.cfg.Size)
 	}
 	if !a.AllNonNegative() {
 		return ErrNegative
@@ -318,6 +366,10 @@ func (x *Crossbar) Program(a *linalg.Matrix) error {
 		x.gt = linalg.NewMatrix(x.rows, x.cols)
 		x.progTarget = linalg.NewMatrix(x.rows, x.cols)
 		x.deviceFactor = linalg.NewMatrix(x.rows, x.cols)
+		x.cellCycle = nil
+	}
+	if x.driftEnabled() && x.cellCycle == nil {
+		x.cellCycle = linalg.NewMatrix(x.rows, x.cols)
 	}
 	// Draw each device's static variation factor once per Program: geometry
 	// variation persists across rewrites of the same cell, while a full
@@ -374,6 +426,13 @@ func (x *Crossbar) writeRow(i int) {
 		if c > 0 {
 			tq = x.quantizeG(c * coef)
 		}
+		// Stuck devices are pinned regardless of the target; check the fault
+		// map before the progTarget skip so pinning survives the gt reset a
+		// re-Program performs.
+		if k := x.faultAt(i, j); k != memristor.FaultNone {
+			x.pinFaultCell(i, j, k, tq)
+			continue
+		}
 		// Program-and-verify skips cells whose quantized target is already
 		// programmed: unchanged coefficients cost no write pulses. This is
 		// what keeps the per-iteration refresh at O(N) — only the X/Y/Z/W
@@ -381,14 +440,7 @@ func (x *Crossbar) writeRow(i int) {
 		if tq == x.progTarget.At(i, j) {
 			continue
 		}
-		x.progTarget.Set(i, j, tq)
-		g := tq * x.deviceFactor.At(i, j)
-		if g > 0 && x.cfg.Variation != nil && x.cfg.CycleNoise > 0 {
-			// Cycle-to-cycle write noise rides on the static factor.
-			g *= 1 + x.cfg.CycleNoise*(x.cfg.Variation.Factor()-1)
-		}
-		x.gt.Set(i, j, g)
-		x.counters.CellWrites++
+		x.writeDevice(i, j, tq)
 	}
 }
 
@@ -477,16 +529,14 @@ func (x *Crossbar) UpdateCellInPlace(i, j int, value float64) error {
 		coef := x.cfg.SenseConductance / (1 - ri)
 		tq = x.quantizeG(c * coef)
 	}
+	if k := x.faultAt(i, j); k != memristor.FaultNone {
+		x.pinFaultCell(i, j, k, tq)
+		return nil
+	}
 	if tq == x.progTarget.At(i, j) {
 		return nil
 	}
-	x.progTarget.Set(i, j, tq)
-	g := tq * x.deviceFactor.At(i, j)
-	if g > 0 && x.cfg.Variation != nil && x.cfg.CycleNoise > 0 {
-		g *= 1 + x.cfg.CycleNoise*(x.cfg.Variation.Factor()-1)
-	}
-	x.gt.Set(i, j, g)
-	x.counters.CellWrites++
+	x.writeDevice(i, j, tq)
 	return nil
 }
 
@@ -495,7 +545,13 @@ func (x *Crossbar) UpdateCellInPlace(i, j int, value float64) error {
 // path (first-order IR-drop model: the cell current traverses j+1 word-line
 // segments from the driver and i+1 bit-line segments to the sense amp).
 func (x *Crossbar) effG(i, j int, g float64) float64 {
-	if x.cfg.WireResistance == 0 || g == 0 {
+	if g == 0 {
+		return 0
+	}
+	if x.cellCycle != nil && x.driftEnabled() {
+		g *= x.driftFactor(i, j)
+	}
+	if x.cfg.WireResistance == 0 {
 		return g
 	}
 	dist := float64(i + j + 2)
@@ -625,7 +681,7 @@ func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 	// every Newton step into the primal residual (DESIGN.md §D3).
 	gs := x.cfg.SenseConductance
 	net := x.gt
-	if x.cfg.WireResistance > 0 {
+	if x.cfg.WireResistance > 0 || x.driftEnabled() {
 		if x.solveNet == nil || x.solveNet.Rows() != x.rows || x.solveNet.Cols() != x.cols {
 			x.solveNet = linalg.NewMatrix(x.rows, x.cols)
 		}
@@ -668,6 +724,11 @@ func (x *Crossbar) Solve(b linalg.Vector) (linalg.Vector, error) {
 		return nil, err
 	}
 	x.counters.SolveOps++
+	if x.driftEnabled() {
+		// One analog settle = one refresh cycle for the retention model:
+		// cells not rewritten since their last program keep decaying.
+		x.driftCycle++
+	}
 	// The network solved Gᵀ·VI = gs·(vo/inScale), so the true wordline
 	// voltages are inScale·VI.
 	for i := range out {

@@ -27,17 +27,18 @@ func (b Crossbar) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 	return fromCore(res), err
 }
 
-// SolveBatch implements BatchBackend.
+// SolveBatch implements BatchBackend. On cancellation the partial results
+// are converted and returned with the error, per the BatchBackend contract.
 func (b Crossbar) SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Result, error) {
 	results, err := b.S.SolveBatchContext(ctx, problems)
-	if err != nil {
+	if len(results) == 0 && err != nil {
 		return nil, err
 	}
 	out := make([]*Result, len(results))
 	for i, res := range results {
 		out[i] = fromCore(res)
 	}
-	return out, nil
+	return out, err
 }
 
 // CrossbarLargeScale adapts core.LargeScaleSolver (Algorithm 2).
@@ -70,6 +71,7 @@ func fromCore(res *core.Result) *Result {
 		Counters:            res.Counters,
 		MatrixSize:          res.MatrixSize,
 		Resolves:            res.Resolves,
+		Diagnostics:         res.Diagnostics,
 	}
 }
 

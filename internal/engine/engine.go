@@ -10,6 +10,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/memlp/memlp/internal/core"
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
@@ -38,6 +39,10 @@ type Result struct {
 	Counters   crossbar.Counters
 	MatrixSize int
 	Resolves   int
+
+	// Diagnostics carries fault and recovery telemetry from the crossbar
+	// engines; non-nil only when a fault model or write-verify is configured.
+	Diagnostics *core.Diagnostics
 }
 
 // Backend is one solver engine behind a memlp.Solver handle. Implementations
@@ -61,7 +66,8 @@ type BatchBackend interface {
 	Backend
 	// SolveBatch solves the sequence on one persistent fabric. Each result's
 	// WallTime and Counters are per-solve marginals; the first result carries
-	// the programming cost. On cancellation the completed results are
-	// discarded and the wrapped context error is returned.
+	// the programming cost. On cancellation the results completed so far are
+	// returned alongside the wrapped context error, with the interrupted
+	// solve's lp.StatusCanceled partial as the last element.
 	SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Result, error)
 }

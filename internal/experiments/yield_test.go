@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestYieldVsFaultDensity(t *testing.T) {
+	cfg := Config{Sizes: []int{9}, Trials: 3}
+	rows, err := YieldVsFaultDensity(Algorithm1, cfg, []float64{0, 0.02}, 3)
+	if err != nil {
+		t.Fatalf("YieldVsFaultDensity: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		total := r.FirstTryRate + r.RecoveredRate + r.DegradedRate + r.FailureRate
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("density %v: outcome fractions sum to %v", r.Density, total)
+		}
+		if r.Yield != r.FirstTryRate+r.RecoveredRate {
+			t.Errorf("density %v: Yield %v inconsistent", r.Density, r.Yield)
+		}
+		if r.FailureRate > 0 {
+			t.Errorf("density %v: %v of trials had no usable answer", r.Density, r.FailureRate)
+		}
+	}
+	clean, faulty := rows[0], rows[1]
+	if clean.FirstTryRate != 1 || clean.MeanStuck != 0 {
+		t.Errorf("clean fabric: first-try rate %v, stuck %v", clean.FirstTryRate, clean.MeanStuck)
+	}
+	if faulty.MeanStuck == 0 {
+		t.Error("2% density produced no stuck cells in the mapped region")
+	}
+	if faulty.MeanRetries == 0 {
+		t.Error("write-verify retries not recorded under faults")
+	}
+}
+
+func TestYieldUnknownAlgorithm(t *testing.T) {
+	if _, err := YieldVsFaultDensity(Algorithm(7), Config{Sizes: []int{4}, Trials: 1}, []float64{0}, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -24,6 +24,12 @@ const (
 	// cancellation or a deadline before reaching any other outcome; the
 	// reported iterate is the state at the moment of interruption.
 	StatusCanceled
+	// StatusDegraded means the analog fabric failed to produce the answer
+	// and the recovery ladder fell back to the software path: the returned
+	// point is a correct optimum, but it was NOT computed in-memory and the
+	// advertised latency/energy characteristics do not apply. Diagnostics
+	// explain what the hardware did before giving up.
+	StatusDegraded
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +47,8 @@ func (s Status) String() string {
 		return "numerical-failure"
 	case StatusCanceled:
 		return "canceled"
+	case StatusDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -179,6 +179,13 @@ const (
 	// StatusCanceled means the solve was interrupted by its context; the
 	// Solution holds the partial iterate reached at cancellation.
 	StatusCanceled = Status(lp.StatusCanceled)
+	// StatusDegraded means the analog fabric could not produce the answer
+	// (even after the recovery ladder's re-solve and remap rungs) and the
+	// solve fell back to the software path. The returned optimum is correct,
+	// but it was not computed in-memory: the Hardware estimate covers only
+	// the failed analog attempts, and Diagnostics reports what the fabric
+	// did before giving up. Only possible with WithFaultModel/WithWriteVerify.
+	StatusDegraded = Status(lp.StatusDegraded)
 )
 
 // String implements fmt.Stringer.
@@ -195,6 +202,50 @@ type HardwareEstimate struct {
 	CellWrites  int64
 	AnalogOps   int64
 	Conversions int64
+}
+
+// FaultModel describes permanent and progressive defects of the simulated
+// memristor arrays, beyond the paper's per-write process variation: stuck
+// cells, extra per-write programming noise, and retention drift. Pass it to
+// WithFaultModel. Fault placement is a pure, seeded function of the physical
+// cell coordinates, so every array built from the same configuration sees
+// the same defect map — which is what makes the recovery ladder's remap rung
+// meaningful and keeps concurrent solves on one handle consistent.
+type FaultModel struct {
+	// StuckOnDensity is the fraction of cells pinned at maximum conductance.
+	StuckOnDensity float64
+	// StuckOffDensity is the fraction of cells pinned at zero conductance.
+	StuckOffDensity float64
+	// Seed fixes the defect placement. Zero uses the solver's WithSeed value.
+	Seed int64
+	// WriteNoise is an extra relative programming-noise magnitude per write
+	// attempt (uniform in ±WriteNoise); write-verify retries redraw it.
+	WriteNoise float64
+	// DriftPerCycle is the multiplicative conductance decay an unrefreshed
+	// cell suffers per analog solve cycle (retention loss). Zero disables.
+	DriftPerCycle float64
+}
+
+// Diagnostics reports what the fault-recovery machinery observed and did
+// during one crossbar solve. Present on Solutions from solvers configured
+// with WithFaultModel or WithWriteVerify.
+type Diagnostics struct {
+	// StuckOn / StuckOff count the defective devices inside the fabric
+	// region the solve actually used (post-program census).
+	StuckOn  int
+	StuckOff int
+	// WriteRetries counts write-verify corrective pulses across the solve.
+	WriteRetries int64
+	// Attempts is the number of analog solve attempts across all recovery
+	// rungs (1 for a clean first-try solve).
+	Attempts int
+	// Remapped records that the mapping was moved to dodge stuck cells.
+	Remapped bool
+	// SoftwareFallback records that the software rung ran.
+	SoftwareFallback bool
+	// RecoveredBy names the rung that produced the result: "" (first
+	// attempt), "resolve", "remap", or "software".
+	RecoveredBy string
 }
 
 // Solution is the result of a Solve call.
@@ -216,4 +267,7 @@ type Solution struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// Diagnostics carries fault and recovery telemetry (nil unless the
+	// solver was built with WithFaultModel or WithWriteVerify).
+	Diagnostics *Diagnostics
 }

@@ -1,0 +1,168 @@
+package memlp
+
+// Cross-engine property suite: every engine — analog or software — must
+// agree on the optimum of randomly generated feasible instances, and the
+// crossbar engines must keep that promise even when their simulated arrays
+// contain stuck cells. This is the acceptance test for the fault-injection
+// and recovery subsystem: at ~1% stuck-cell density every answer is either
+// a verified in-fabric optimum or an explicitly StatusDegraded software
+// fallback with populated Diagnostics — never a panic, never a silently
+// wrong objective.
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// propertyCases enumerates the random instances the suite sweeps. Sizes mix
+// square-ish and paper-ratio (n = m/3) shapes.
+var propertyCases = []struct {
+	m    int
+	seed int64
+}{
+	{6, 11},
+	{9, 23},
+	{12, 37},
+	{15, 41},
+	{21, 53},
+}
+
+// softwareReference solves p with the reduced-KKT PDIP baseline and demands
+// optimality.
+func softwareReference(t *testing.T, p *Problem) float64 {
+	t.Helper()
+	ref, err := Solve(p, EnginePDIPReduced)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	if ref.Status != StatusOptimal {
+		t.Fatalf("reference status: %v", ref.Status)
+	}
+	return ref.Objective
+}
+
+// TestPropertyEnginesAgree checks that all five engines report StatusOptimal
+// with matching objectives on clean (fault-free) hardware.
+func TestPropertyEnginesAgree(t *testing.T) {
+	for _, tc := range propertyCases {
+		p, err := GenerateFeasible(tc.m, 0, tc.seed)
+		if err != nil {
+			t.Fatalf("GenerateFeasible(%d, %d): %v", tc.m, tc.seed, err)
+		}
+		ref := softwareReference(t, p)
+		for _, eng := range []Engine{EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex} {
+			var opts []Option
+			tol := 1e-3
+			if eng == EngineCrossbar || eng == EngineCrossbarLargeScale {
+				opts = append(opts, WithSeed(tc.seed))
+				tol = 0.08 // analog accuracy floor
+			}
+			sol, err := Solve(p, eng, opts...)
+			if err != nil {
+				t.Errorf("m=%d seed=%d %v: %v", tc.m, tc.seed, eng, err)
+				continue
+			}
+			if sol.Status != StatusOptimal {
+				t.Errorf("m=%d seed=%d %v: status %v", tc.m, tc.seed, eng, sol.Status)
+				continue
+			}
+			if rel := math.Abs(sol.Objective-ref) / (1 + math.Abs(ref)); rel > tol {
+				t.Errorf("m=%d seed=%d %v: objective %v vs reference %v (rel %v > %v)",
+					tc.m, tc.seed, eng, sol.Objective, ref, rel, tol)
+			}
+		}
+	}
+}
+
+// TestPropertyFaultRecovery is the headline acceptance property: with ~1%
+// stuck cells seeded into the arrays, both crossbar engines must return
+// either StatusOptimal (the ladder recovered in-fabric) or StatusDegraded
+// (explicit software fallback) on every instance — with Diagnostics
+// populated and the objective still matching the software reference.
+func TestPropertyFaultRecovery(t *testing.T) {
+	fm := FaultModel{StuckOnDensity: 0.005, StuckOffDensity: 0.005}
+	for _, tc := range propertyCases {
+		p, err := GenerateFeasible(tc.m, 0, tc.seed)
+		if err != nil {
+			t.Fatalf("GenerateFeasible(%d, %d): %v", tc.m, tc.seed, err)
+		}
+		ref := softwareReference(t, p)
+		for _, eng := range []Engine{EngineCrossbar, EngineCrossbarLargeScale} {
+			sol, err := Solve(p, eng,
+				WithSeed(tc.seed),
+				WithFaultModel(fm),
+				WithWriteVerify(3, 0.01))
+			if err != nil {
+				t.Errorf("m=%d seed=%d %v: %v", tc.m, tc.seed, eng, err)
+				continue
+			}
+			if sol.Status != StatusOptimal && sol.Status != StatusDegraded {
+				t.Errorf("m=%d seed=%d %v: status %v, want optimal or degraded",
+					tc.m, tc.seed, eng, sol.Status)
+				continue
+			}
+			d := sol.Diagnostics
+			if d == nil {
+				t.Errorf("m=%d seed=%d %v: Diagnostics nil under fault model", tc.m, tc.seed, eng)
+				continue
+			}
+			if d.Attempts < 1 {
+				t.Errorf("m=%d seed=%d %v: Attempts = %d", tc.m, tc.seed, eng, d.Attempts)
+			}
+			if sol.Status == StatusDegraded {
+				if !d.SoftwareFallback || d.RecoveredBy != "software" {
+					t.Errorf("m=%d seed=%d %v: degraded but diagnostics say %+v", tc.m, tc.seed, eng, d)
+				}
+			} else if d.SoftwareFallback {
+				t.Errorf("m=%d seed=%d %v: optimal but SoftwareFallback set", tc.m, tc.seed, eng)
+			}
+			// Degraded answers come from software and must be near-exact;
+			// in-fabric optima get the analog floor. Either way: no silent
+			// wrong answers.
+			tol := 0.08
+			if sol.Status == StatusDegraded {
+				tol = 1e-3
+			}
+			if rel := math.Abs(sol.Objective-ref) / (1 + math.Abs(ref)); rel > tol {
+				t.Errorf("m=%d seed=%d %v: status %v objective %v vs reference %v (rel %v > %v)",
+					tc.m, tc.seed, eng, sol.Status, sol.Objective, ref, rel, tol)
+			}
+		}
+	}
+}
+
+// TestPropertyHeavyFaultsNeverLie pushes the density to 10%, where in-fabric
+// recovery is unlikely: the contract weakens to "any status is acceptable
+// except a wrong StatusOptimal/StatusDegraded objective, and never a panic".
+func TestPropertyHeavyFaultsNeverLie(t *testing.T) {
+	fm := FaultModel{StuckOnDensity: 0.05, StuckOffDensity: 0.05}
+	for _, tc := range propertyCases[:3] {
+		p, err := GenerateFeasible(tc.m, 0, tc.seed)
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		ref := softwareReference(t, p)
+		for _, eng := range []Engine{EngineCrossbar, EngineCrossbarLargeScale} {
+			s, err := NewSolver(eng, WithSeed(tc.seed), WithFaultModel(fm), WithWriteVerify(2, 0.01))
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			sol, err := s.Solve(context.Background(), p)
+			if err != nil {
+				continue // a hard error is an honest non-answer
+			}
+			switch sol.Status {
+			case StatusOptimal, StatusDegraded:
+				tol := 0.08
+				if sol.Status == StatusDegraded {
+					tol = 1e-3
+				}
+				if rel := math.Abs(sol.Objective-ref) / (1 + math.Abs(ref)); rel > tol {
+					t.Errorf("m=%d %v: claimed %v with objective %v vs reference %v (rel %v)",
+						tc.m, eng, sol.Status, sol.Objective, ref, rel)
+				}
+			}
+		}
+	}
+}

@@ -75,6 +75,9 @@ type options struct {
 	nocTopology    noc.Topology
 	nocTileSize    int
 	literal        bool
+	faults         *FaultModel
+	writeRetries   int
+	writeVerifyTol float64
 	timing         memristor.Timing
 
 	set map[string]bool
@@ -275,6 +278,49 @@ func WithLiteralFillers() Option {
 	}
 }
 
+// WithFaultModel injects permanent device defects (stuck-at-ON/OFF cells,
+// extra write noise, retention drift) into the crossbar engines' simulated
+// arrays and enables the recovery-escalation ladder: failed solves are
+// retried, remapped away from the stuck cells, and finally completed in
+// software with StatusDegraded. See FaultModel and Diagnostics.
+func WithFaultModel(fm FaultModel) Option {
+	return func(o *options) error {
+		inner := memristor.FaultModel{
+			StuckOnDensity:  fm.StuckOnDensity,
+			StuckOffDensity: fm.StuckOffDensity,
+			Seed:            fm.Seed,
+			WriteNoise:      fm.WriteNoise,
+			DriftPerCycle:   fm.DriftPerCycle,
+		}
+		if err := inner.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		o.faults = &fm
+		o.set["WithFaultModel"] = true
+		return nil
+	}
+}
+
+// WithWriteVerify enables closed-loop program-and-verify cell writes on the
+// crossbar engines: after each write the controller reads the conductance
+// back and issues up to maxRetries corrective pulses until it is within tol
+// (relative; 0 means 1%) of the target. Retries are counted in the hardware
+// estimate, and the recovery ladder is enabled as with WithFaultModel.
+func WithWriteVerify(maxRetries int, tol float64) Option {
+	return func(o *options) error {
+		if maxRetries < 1 {
+			return fmt.Errorf("%w: write-verify retries %d", ErrInvalid, maxRetries)
+		}
+		if tol < 0 || tol >= 1 {
+			return fmt.Errorf("%w: write-verify tolerance %v", ErrInvalid, tol)
+		}
+		o.writeRetries = maxRetries
+		o.writeVerifyTol = tol
+		o.set["WithWriteVerify"] = true
+		return nil
+	}
+}
+
 // Solver is a reusable handle on one configured engine. Construction
 // resolves the options, validates them against the engine, and builds the
 // backend once; every Solve call then reuses the backend's iteration
@@ -349,11 +395,13 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 // runs inside backend calls made under s.mu).
 func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 	xcfg := crossbar.Config{
-		IOBits:         o.ioBits,
-		WriteBits:      o.writeBits,
-		GlobalIORange:  o.globalIORange,
-		CycleNoise:     o.cycleNoise,
-		WireResistance: o.wireResistance,
+		IOBits:          o.ioBits,
+		WriteBits:       o.writeBits,
+		GlobalIORange:   o.globalIORange,
+		CycleNoise:      o.cycleNoise,
+		WireResistance:  o.wireResistance,
+		MaxWriteRetries: o.writeRetries,
+		WriteVerifyTol:  o.writeVerifyTol,
 	}
 	if o.variationPct > 0 {
 		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
@@ -361,6 +409,19 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 			return err
 		}
 		xcfg.Variation = vm
+	}
+	if o.faults != nil {
+		fm := memristor.FaultModel{
+			StuckOnDensity:  o.faults.StuckOnDensity,
+			StuckOffDensity: o.faults.StuckOffDensity,
+			Seed:            o.faults.Seed,
+			WriteNoise:      o.faults.WriteNoise,
+			DriftPerCycle:   o.faults.DriftPerCycle,
+		}
+		if fm.Seed == 0 {
+			fm.Seed = o.seed
+		}
+		xcfg.Faults = &fm
 	}
 
 	var factory core.FabricFactory
@@ -396,6 +457,12 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 	}
 	if o.maxIterations > 0 {
 		copts.Tol.MaxIterations = o.maxIterations
+	}
+	if o.faults != nil || o.writeRetries > 0 {
+		// Fault-aware hardware gets the full recovery ladder: re-solve,
+		// remap off the stuck cells, then software fallback (StatusDegraded)
+		// so the handle always returns an honest answer.
+		copts.Recovery = &core.RecoveryPolicy{Remap: true, SoftwareFallback: true}
 	}
 
 	switch eng {
@@ -447,6 +514,10 @@ func (s *Solver) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 // are measured per solve; the first additionally carries the one-time
 // programming (and, with NoC, the batch's transfer) cost.
 //
+// On cancellation the Solutions completed before the interruption are
+// returned together with the wrapped context error; the interrupted solve
+// contributes its StatusCanceled partial as the last element.
+//
 // Only EngineCrossbar supports batching.
 func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Solution, error) {
 	if len(problems) == 0 {
@@ -468,7 +539,7 @@ func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Soluti
 	defer s.mu.Unlock()
 	before := s.nocSnapshot()
 	results, err := bb.SolveBatch(ctx, inner)
-	if err != nil {
+	if len(results) == 0 && err != nil {
 		return nil, err
 	}
 	out := make([]*Solution, len(results))
@@ -478,7 +549,10 @@ func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Soluti
 	if len(out) > 0 {
 		s.addNoCCost(out[0], before)
 	}
-	return out, nil
+	// On cancellation the Solutions completed so far accompany the wrapped
+	// context error (the canceled solve's StatusCanceled partial is last),
+	// matching the single-solve contract.
+	return out, err
 }
 
 // solution converts an engine result into the public form, attaching the
@@ -504,6 +578,17 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 			CellWrites:   res.Counters.CellWrites,
 			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
 			Conversions:  res.Counters.IOConversions,
+		}
+	}
+	if d := res.Diagnostics; d != nil {
+		sol.Diagnostics = &Diagnostics{
+			StuckOn:          d.StuckOn,
+			StuckOff:         d.StuckOff,
+			WriteRetries:     d.WriteRetries,
+			Attempts:         d.Attempts,
+			Remapped:         d.Remapped,
+			SoftwareFallback: d.SoftwareFallback,
+			RecoveredBy:      d.RecoveredBy,
 		}
 	}
 	return sol

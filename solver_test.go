@@ -29,6 +29,8 @@ func TestIncompatibleOptions(t *testing.T) {
 		{"literal fillers on pdip", EnginePDIP, []Option{WithLiteralFillers()}},
 		{"max iterations on simplex", EngineSimplex, []Option{WithMaxIterations(10)}},
 		{"alpha on simplex", EngineSimplex, []Option{WithAlpha(1.1)}},
+		{"fault model on pdip", EnginePDIP, []Option{WithFaultModel(FaultModel{StuckOnDensity: 0.01})}},
+		{"write verify on simplex", EngineSimplex, []Option{WithWriteVerify(3, 0.01)}},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -54,6 +56,9 @@ func TestIncompatibleOptions(t *testing.T) {
 			WithVariation(0.1), WithSeed(2), WithIOBits(8), WithNoC("hierarchical", 16)}},
 		{"large-scale alg2 knobs", EngineCrossbarLargeScale, []Option{
 			WithConstantStep(0.3), WithLiteralFillers(), WithSeed(1)}},
+		{"crossbar fault hardware", EngineCrossbar, []Option{
+			WithFaultModel(FaultModel{StuckOnDensity: 0.005, StuckOffDensity: 0.005}),
+			WithWriteVerify(3, 0.02)}},
 	}
 	for _, tc := range valid {
 		t.Run(tc.name, func(t *testing.T) {
@@ -156,6 +161,116 @@ func TestSolverConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestSolverConcurrentFaulty extends TestSolverConcurrent to the fault
+// subsystem: one handle with a seeded fault model and write-verify is
+// hammered by goroutines mixing Solve and SolveBatch. Under -race this pins
+// that the stateless hash-based fault placement, the retry counters, and the
+// recovery ladder's fabric mutations are all safe behind the handle's lock,
+// and that concurrent callers still only ever see honest statuses.
+func TestSolverConcurrentFaulty(t *testing.T) {
+	s, err := NewSolver(EngineCrossbar,
+		WithSeed(11),
+		WithFaultModel(FaultModel{StuckOnDensity: 0.005, StuckOffDensity: 0.005}),
+		WithWriteVerify(2, 0.01))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	ctx := context.Background()
+	p := tiny(t)
+
+	const goroutines, repeats = 6, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*repeats)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < repeats; i++ {
+				if g%2 == 0 {
+					sol, err := s.Solve(ctx, p)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if sol.Status != StatusOptimal && sol.Status != StatusDegraded {
+						errs <- errors.New("single solve status " + sol.Status.String())
+						return
+					}
+					if sol.Diagnostics == nil {
+						errs <- errors.New("fault-model solve without diagnostics")
+						return
+					}
+				} else {
+					sols, err := s.SolveBatch(ctx, []*Problem{p, p})
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, sol := range sols {
+						if sol.Status != StatusOptimal && sol.Status != StatusDegraded &&
+							sol.Status != StatusNumericalFailure {
+							errs <- errors.New("batch solve status " + sol.Status.String())
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSolveBatchPartialResultsOnCancel pins the batch cancellation contract:
+// the Solutions completed before the interruption come back alongside the
+// wrapped context error, with the interrupted solve's StatusCanceled partial
+// as the last element.
+func TestSolveBatchPartialResultsOnCancel(t *testing.T) {
+	p, err := GenerateFeasible(20, 0, 9)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	problems := make([]*Problem, 200)
+	for i := range problems {
+		problems[i] = p
+	}
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	sols, err := s.SolveBatch(ctx, problems)
+	if err == nil {
+		t.Skip("batch completed before cancellation could land")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sols) == 0 {
+		t.Fatal("no partial results returned with the cancellation error")
+	}
+	if len(sols) == len(problems) {
+		t.Fatal("all solutions returned despite cancellation error")
+	}
+	last := sols[len(sols)-1]
+	if last.Status != StatusCanceled {
+		t.Errorf("last partial status = %v, want %v", last.Status, StatusCanceled)
+	}
+	for i, sol := range sols[:len(sols)-1] {
+		if sol.Status != StatusOptimal {
+			t.Errorf("completed solution %d: status %v, want %v", i, sol.Status, StatusOptimal)
+		}
 	}
 }
 
