@@ -1,0 +1,40 @@
+GO ?= go
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race lint vet memlpvet vuln cover
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The domain-specific invariant suite (floatcmp, ctxloop, rawwrite, nanguard,
+# hotpath — see DESIGN.md D11). Also runnable through go vet's cache:
+#   $(GO) build -o memlpvet ./cmd/memlpvet && $(GO) vet -vettool=$$PWD/memlpvet ./...
+memlpvet:
+	$(GO) run ./cmd/memlpvet ./...
+
+# golangci-lint is optional locally; vet + memlpvet are the required floor.
+lint: vet memlpvet
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; ran go vet + memlpvet only"; \
+	fi
+
+# Pinned so CI results are reproducible; requires network access.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -1

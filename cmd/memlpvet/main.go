@@ -1,0 +1,72 @@
+// Memlpvet checks the memlp tree against its domain-specific invariants:
+// floatcmp, ctxloop, rawwrite, nanguard, and hotpath (see internal/analysis
+// and DESIGN.md D11).
+//
+// Standalone (package patterns, defaulting to ./...):
+//
+//	go run ./cmd/memlpvet ./...
+//
+// As a vet tool, so findings integrate with go vet's caching and output:
+//
+//	go build -o memlpvet ./cmd/memlpvet
+//	go vet -vettool=$PWD/memlpvet ./...
+//
+// Exit status: 0 clean, 1 operational failure, 2 findings reported.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go vet -vettool protocol: version probe, flag discovery, then one
+	// invocation per package with a .cfg file as the sole argument.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(driver.Unitchecker(args[0], analysis.Default()))
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Check(".", patterns, analysis.Default())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memlpvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion answers the go command's -V=full probe. The executable's own
+// content hash serves as the build ID, so go vet's result cache invalidates
+// whenever the analyzers change.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:16])
+		}
+	}
+	fmt.Printf("memlpvet version devel buildID=%s\n", id)
+}

@@ -1,0 +1,220 @@
+// Package analysis is memlp's domain-specific static-analysis suite: five
+// analyzers that enforce, at the source level, the numerical/cancellation/
+// hot-path invariants the solver's correctness argument rests on (DESIGN.md
+// D11). It is intentionally self-contained — built only on go/ast and
+// go/types, with the same Analyzer/Pass shape as golang.org/x/tools/go/
+// analysis so the analyzers could be ported to the upstream framework
+// verbatim if the dependency ever becomes available.
+//
+// The analyzers:
+//
+//   - floatcmp  — no ==/!= between floats outside the approved
+//     internal/linalg tolerance helpers (Eqs. 8/11 are tolerance checks,
+//     not equalities).
+//   - ctxloop   — unbounded and iteration-count loops in internal/core and
+//     internal/engine must observe their context (the PR 1 invariant).
+//   - rawwrite  — conductance state is mutated only through the annotated
+//     write-verify programming funnel in internal/crossbar (the PR 2
+//     invariant).
+//   - nanguard  — exported float-returning functions of the public package
+//     either validate or document NaN/Inf propagation.
+//   - hotpath   — functions annotated //memlp:hotpath may not allocate.
+//
+// Findings are suppressed only by an explicit, reasoned waiver comment:
+//
+//	//memlpvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. A waiver without
+// a reason is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run reports the analyzer's findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// RunAnalyzers applies every analyzer to the package, filters the raw
+// findings through the //memlpvet:ignore waivers found in the files, and
+// returns the surviving diagnostics sorted by position. Malformed waivers
+// (no analyzer name, no reason) are reported as findings themselves, so a
+// suppression can never be silent.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Test files are exempt across the whole suite: the invariants guard
+	// production paths, and tests legitimately assert bit-exact determinism
+	// (same seed, same result) that floatcmp would otherwise flag.
+	prod := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		prod = append(prod, f)
+	}
+	files = prod
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyWaivers(fset, files, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// waiverPrefix introduces a reasoned suppression comment.
+const waiverPrefix = "//memlpvet:ignore"
+
+// waiver is one parsed //memlpvet:ignore comment.
+type waiver struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// applyWaivers removes diagnostics covered by a well-formed waiver on the
+// same line or the line above, and appends a diagnostic for every malformed
+// waiver comment.
+func applyWaivers(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	waived := map[waiver]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, waiverPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "waiver",
+						Pos:      c.Pos(),
+						Message:  "malformed waiver: want //memlpvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				waived[waiver{name, pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	if len(waived) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if waived[waiver{d.Analyzer, pos.Filename, pos.Line}] ||
+			waived[waiver{d.Analyzer, pos.Filename, pos.Line - 1}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// pkgMatch reports whether an import path matches one of the patterns: an
+// exact path, or a path ending in "/<pattern>". This lets production configs
+// name "internal/core" and have test fixtures live at
+// "example.com/memlp/internal/core".
+func pkgMatch(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether the function's doc comment contains the
+// given //memlp:<marker> annotation line.
+func funcAnnotated(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachFunc invokes f for every function declaration with a body.
+func forEachFunc(files []*ast.File, f func(fn *ast.FuncDecl)) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				f(fn)
+			}
+		}
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isPkgFunc reports whether call invokes the named function from the named
+// package (e.g. math.Inf), resolving through the type info so aliases and
+// renamed imports are handled.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

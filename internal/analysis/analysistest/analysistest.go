@@ -1,0 +1,236 @@
+// Package analysistest runs memlp analyzers over fixture packages laid out
+// GOPATH-style under a testdata directory, checking reported diagnostics
+// against // want "regexp" comment expectations — the same fixture contract
+// as golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// standard library so the suite stays dependency-free.
+//
+// Fixture layout:
+//
+//	testdata/src/<import/path>/*.go
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	x == y // want "exact float comparison"
+//
+// with one quoted regexp per expected diagnostic on that line. Lines without
+// a want comment must produce no diagnostics (false-positive guards are just
+// ordinary clean code). Waiver comments (//memlpvet:ignore) are honored, so
+// fixtures can also lock in the suppression contract.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads the fixture package at testdata/src/<pkgpath>, applies the
+// analyzer, and checks the diagnostics against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld, diags := run(t, testdata, a, pkgpath)
+	checkExpectations(t, ld.fset, ld.files[pkgpath], diags)
+}
+
+// RunExpectClean loads the fixture package, applies the analyzer, and asserts
+// it reports nothing — ignoring the fixture's // want comments, which belong
+// to a different analyzer configuration. Use it to lock in that a config
+// restricted to other packages leaves the fixture alone.
+func RunExpectClean(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld, diags := run(t, testdata, a, pkgpath)
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		t.Errorf("%s:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+	}
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) (*loader, []analysis.Diagnostic) {
+	t.Helper()
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		srcDir: filepath.Join(testdata, "src"),
+		pkgs:   map[string]*types.Package{},
+		files:  map[string][]*ast.File{},
+		infos:  map[string]*types.Info{},
+	}
+	ld.stdImps = importer.ForCompiler(ld.fset, "source", nil)
+
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.RunAnalyzers(ld.fset, ld.files[pkgpath], pkg, ld.infos[pkgpath], []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	return ld, diags
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports from
+// the testdata tree and everything else from the standard library.
+type loader struct {
+	fset    *token.FileSet
+	srcDir  string
+	pkgs    map[string]*types.Package
+	files   map[string][]*ast.File
+	infos   map[string]*types.Info
+	stdImps types.Importer
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) { return ld.load(path) }
+
+func (ld *loader) load(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return ld.stdImps.Import(path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	ld.pkgs[path] = pkg
+	ld.files[path] = files
+	ld.infos[path] = info
+	return pkg, nil
+}
+
+// expectation is one // want pattern at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// checkExpectations diffs diagnostics against // want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the Go-quoted strings from a want clause.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		if q, err := strconv.Unquote(s[:end+1]); err == nil {
+			out = append(out, q)
+		}
+		s = s[end+1:]
+	}
+}

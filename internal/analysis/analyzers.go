@@ -1,0 +1,33 @@
+package analysis
+
+// Default returns the production-configured memlpvet suite, in reporting
+// order. The configurations pin each analyzer to the packages that own the
+// corresponding invariant (see DESIGN.md D11):
+//
+//   - floatcmp everywhere, with internal/linalg hosting the approved
+//     //memlp:tolerance-helper functions;
+//   - ctxloop on the iteration engines (internal/core, internal/engine);
+//   - rawwrite protecting internal/crossbar's realized-conductance matrix
+//     (gt) and program-and-verify cache (progTarget);
+//   - nanguard on the public memlp package;
+//   - hotpath wherever //memlp:hotpath annotations appear.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		Floatcmp(FloatcmpConfig{
+			HelperPkgs: []string{"internal/linalg"},
+		}),
+		Ctxloop(CtxloopConfig{
+			Pkgs: []string{"internal/core", "internal/engine"},
+		}),
+		Rawwrite(RawwriteConfig{
+			StatePkgs: []string{"internal/crossbar"},
+			TypeName:  "Crossbar",
+			Fields:    []string{"gt", "progTarget"},
+			Mutators:  []string{"Set", "Zero", "Fill"},
+		}),
+		Nanguard(NanguardConfig{
+			Pkgs: []string{"github.com/memlp/memlp"},
+		}),
+		Hotpath(),
+	}
+}

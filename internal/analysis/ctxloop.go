@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// CtxloopConfig parameterizes the ctxloop analyzer.
+type CtxloopConfig struct {
+	// Pkgs are the packages (pkgMatch patterns) whose loops must honor
+	// cancellation: the iteration engines and batch paths.
+	Pkgs []string
+}
+
+// iterName matches loop variables and bound expressions that indicate an
+// iteration-count or retry loop (as opposed to a plain data sweep).
+var iterName = regexp.MustCompile(`(?i)iter|retry|attempt|resolve|epoch|round`)
+
+// Ctxloop returns the analyzer enforcing PR 1's cancellation invariant:
+// inside the solver engines, every unbounded loop (for {} / for cond {}) and
+// every iteration-count loop (a three-clause loop whose variable or bound
+// names an iteration/retry/attempt budget) must observe its context — by
+// touching a context.Context value in its body (ctx.Err(), ctx.Done(), or
+// passing ctx into the work it delegates to). Plain data sweeps
+// (for i := 0; i < n; i++ over rows/cells) are not flagged: they are bounded
+// by problem shape, not by an iteration budget.
+func Ctxloop(cfg CtxloopConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxloop",
+		Doc:  "iteration-count and unbounded loops in the solver engines must observe ctx.Done()/ctx.Err()",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				kind := loopKind(loop)
+				if kind == "" {
+					return true
+				}
+				if bodyObservesContext(pass, loop.Body) {
+					return true
+				}
+				pass.Reportf(loop.For,
+					"%s loop does not observe cancellation: check ctx.Err()/ctx.Done() (or pass ctx to the work) each pass",
+					kind)
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// loopKind classifies a for statement: "unbounded" (no condition, or a
+// while-style condition-only loop), "iteration-count" (three-clause loop
+// over an iteration/retry budget), or "" for plain bounded sweeps.
+func loopKind(loop *ast.ForStmt) string {
+	if loop.Cond == nil || (loop.Init == nil && loop.Post == nil) {
+		return "unbounded"
+	}
+	named := false
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && iterName.MatchString(id.Name) {
+			named = true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && iterName.MatchString(sel.Sel.Name) {
+			named = true
+		}
+		return true
+	})
+	if named {
+		return "iteration-count"
+	}
+	return ""
+}
+
+// bodyObservesContext reports whether any expression in body uses a value of
+// type context.Context.
+func bodyObservesContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContextType(pass.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestCtxloop(t *testing.T) {
+	a := analysis.Ctxloop(analysis.CtxloopConfig{Pkgs: []string{"internal/core", "internal/engine"}})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/memlp/internal/core")
+}
+
+func TestCtxloopOutsideConfiguredPackages(t *testing.T) {
+	// The same fixture run under a config that does not include it must be
+	// silent: ctxloop only polices the solver engines.
+	a := analysis.Ctxloop(analysis.CtxloopConfig{Pkgs: []string{"internal/engine"}})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/memlp/internal/core")
+}

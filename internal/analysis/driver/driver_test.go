@@ -1,0 +1,127 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/driver"
+)
+
+// badSrc violates floatcmp and hotpath; the fixed expectations below keep the
+// driver honest about positions and waiver handling.
+const badSrc = `package tmpvet
+
+// Grow is annotated hot but allocates.
+//
+//memlp:hotpath
+func Grow(v []float64) []float64 {
+	return append(v, 1)
+}
+
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+func Waived(a, b float64) bool {
+	//memlpvet:ignore floatcmp fixture exercising waiver passthrough
+	return a == b
+}
+`
+
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/tmpvet\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(badSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheck(t *testing.T) {
+	dir := writeModule(t)
+	findings, err := driver.Check(dir, []string{"./..."}, analysis.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer)
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding %v lacks a position", f)
+		}
+		if !strings.Contains(f.String(), f.Message) {
+			t.Errorf("String() %q does not contain the message", f.String())
+		}
+	}
+	want := []string{"hotpath", "floatcmp"}
+	if len(got) != len(want) {
+		t.Fatalf("analyzers of findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("analyzers of findings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCheckBadPattern(t *testing.T) {
+	dir := writeModule(t)
+	if _, err := driver.Check(dir, []string{"./nonexistent/..."}, analysis.Default()); err == nil {
+		t.Fatal("Check on a nonexistent pattern succeeded")
+	}
+}
+
+// TestVettool drives the full go vet -vettool protocol against the real
+// binary: version probe, per-package .cfg invocations, diagnostics relayed
+// through the go command.
+func TestVettool(t *testing.T) {
+	tool := filepath.Join(t.TempDir(), "memlpvet")
+	build := exec.Command("go", "build", "-o", tool, "github.com/memlp/memlp/cmd/memlpvet")
+	build.Dir = "../../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building memlpvet: %v\n%s", err, out)
+	}
+	dir := writeModule(t)
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with violations:\n%s", out)
+	}
+	for _, wantMsg := range []string{"exact float comparison", "append"} {
+		if !strings.Contains(string(out), wantMsg) {
+			t.Errorf("go vet output missing %q:\n%s", wantMsg, out)
+		}
+	}
+	if strings.Contains(string(out), "waiver passthrough") {
+		t.Errorf("waived finding leaked into go vet output:\n%s", out)
+	}
+}
+
+func TestUnitcheckerVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := filepath.Join(dir, "pkg.cfg")
+	if err := os.WriteFile(cfg, []byte(`{"ImportPath":"example.com/x","VetxOnly":true,"VetxOutput":"`+vetx+`"}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := driver.Unitchecker(cfg, analysis.Default()); code != 0 {
+		t.Fatalf("VetxOnly exit code = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}
+
+func TestUnitcheckerMissingConfig(t *testing.T) {
+	if code := driver.Unitchecker(filepath.Join(t.TempDir(), "absent.cfg"), analysis.Default()); code != 1 {
+		t.Fatalf("missing config exit code = %d, want 1", code)
+	}
+}

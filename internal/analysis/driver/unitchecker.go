@@ -1,0 +1,132 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/memlp/memlp/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for a
+// `go vet -vettool=` invocation (one file per package, passed as the sole
+// positional argument with a .cfg suffix).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker analyzes the single package described by the .cfg file,
+// printing diagnostics to stderr in the file:line:col format the go command
+// relays. The returned exit code follows the vet tool convention: 0 clean,
+// 1 operational failure, 2 diagnostics reported.
+func Unitchecker(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memlpvet: %v\n", err)
+		return 1
+	}
+	// The go command caches on the facts file; memlpvet keeps no facts but
+	// must still produce it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "memlpvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	findings, err := checkVetPackage(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "memlpvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(cfgFile string) (*vetConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	return cfg, nil
+}
+
+func checkVetPackage(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		// The go command writes a complete ImportMap (identity entries
+		// included); tolerate a missing entry for robustness.
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Pos:      fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return findings, nil
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// FloatcmpConfig parameterizes the floatcmp analyzer.
+type FloatcmpConfig struct {
+	// HelperPkgs are the packages (pkgMatch patterns) whose
+	// //memlp:tolerance-helper annotated functions may compare floats
+	// exactly — the approved tolerance-helper home.
+	HelperPkgs []string
+}
+
+// toleranceHelperMarker annotates the approved exact-comparison helpers.
+const toleranceHelperMarker = "//memlp:tolerance-helper"
+
+// Floatcmp returns the analyzer that forbids ==/!= between floating-point
+// operands. The paper's convergence conditions (Eqs. 8 and 11) are tolerance
+// checks; an exact equality on analog-derived values is either a latent bug
+// or a hidden invariant that belongs in internal/linalg's tolerance helpers.
+//
+// Permitted without a waiver:
+//   - comparison against the exact constant zero (the pervasive
+//     "option unset / feature disabled" sentinel idiom);
+//   - comparison against ±Inf produced by math.Inf (sentinel extremes);
+//   - self-comparison x != x / x == x (the NaN probe idiom);
+//   - comparisons inside //memlp:tolerance-helper annotated functions of
+//     the configured helper packages (internal/linalg).
+func Floatcmp(cfg FloatcmpConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "forbid exact ==/!= between floats outside the approved linalg tolerance helpers",
+	}
+	a.Run = func(pass *Pass) error {
+		helperPkg := pkgMatch(pass.Pkg.Path(), cfg.HelperPkgs)
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			if helperPkg && funcAnnotated(fn, toleranceHelperMarker) {
+				return
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+					return true
+				}
+				if floatCmpAllowed(pass, be) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"exact float comparison (%s); use a linalg tolerance helper (EqTol/Identical) or a //memlpvet:ignore waiver",
+					be.Op)
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// floatCmpAllowed reports whether the comparison matches one of the
+// always-safe sentinel idioms.
+func floatCmpAllowed(pass *Pass, be *ast.BinaryExpr) bool {
+	if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+		return true
+	}
+	if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+		return true
+	}
+	// Self-comparison: the portable NaN check.
+	if exprString(pass.Fset, be.X) == exprString(pass.Fset, be.Y) {
+		return true
+	}
+	return false
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// isInfCall reports whether e is (possibly negated) math.Inf(...).
+func isInfCall(pass *Pass, e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isPkgFunc(pass.Info, call, "math", "Inf")
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return ""
+	}
+	return sb.String()
+}

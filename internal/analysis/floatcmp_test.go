@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func floatcmpAnalyzer() *analysis.Analyzer {
+	return analysis.Floatcmp(analysis.FloatcmpConfig{HelperPkgs: []string{"internal/linalg"}})
+}
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcmpAnalyzer(), "floatcmp")
+}
+
+func TestFloatcmpHelperPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcmpAnalyzer(), "example.com/memlp/internal/linalg")
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathMarker annotates the per-iteration kernels (Algorithm 1/2 mat-vec,
+// residual, and coefficient-update paths) that must not allocate.
+const hotpathMarker = "//memlp:hotpath"
+
+// Hotpath returns the analyzer enforcing the steady-state allocation
+// invariant from PR 1: a function annotated //memlp:hotpath runs once (or
+// O(N) times) per PDIP iteration, so it may not contain constructs that
+// allocate — append, make, new, composite literals, closures, fmt calls,
+// string concatenation, go/defer, conversions to interface types, or
+// implicit interface boxing at call sites. The companion
+// testing.AllocsPerRun regression tests verify the same property at
+// runtime; the analyzer keeps it reviewable at the source level and catches
+// regressions in code paths the tests do not drive.
+func Hotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "//memlp:hotpath functions may not allocate (no append/make/new/literals/fmt/boxing)",
+	}
+	a.Run = func(pass *Pass) error {
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			if !funcAnnotated(fn, hotpathMarker) {
+				return
+			}
+			checkHotpathBody(pass, fn)
+		})
+		return nil
+	}
+	return a
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "hot path %s: composite literal allocates", fn.Name.Name)
+			return false
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s: closure allocates", fn.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path %s: go statement allocates a goroutine", fn.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hot path %s: defer has per-call overhead", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n.X)) {
+				pass.Reportf(n.OpPos, "hot path %s: string concatenation allocates", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fn, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins that allocate.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "append", "make", "new":
+				pass.Reportf(call.Pos(), "hot path %s: %s allocates", fn.Name.Name, obj.Name())
+			}
+			return
+		}
+	}
+	// Conversions to interface types box their operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 &&
+			!types.IsInterface(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "hot path %s: conversion to interface boxes its operand", fn.Name.Name)
+		}
+		return
+	}
+	// Calls into fmt (Sprintf/Errorf/… all allocate).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := pass.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path %s: fmt.%s allocates", fn.Name.Name, obj.Name())
+			return
+		}
+	}
+	// Implicit interface boxing: a concrete argument passed to an
+	// interface-typed parameter.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			if sl, ok := last.(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path %s: argument boxed into interface parameter", fn.Name.Name)
+	}
+}
+
+// isString reports whether t's core type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

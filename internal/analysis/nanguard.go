@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// NanguardConfig parameterizes the nanguard analyzer.
+type NanguardConfig struct {
+	// Pkgs are the packages (pkgMatch patterns) forming the public API
+	// boundary.
+	Pkgs []string
+}
+
+// nanDocPattern recognizes documentation that addresses non-finite values.
+var nanDocPattern = regexp.MustCompile(`(?i)\bnan\b|\binf\b|infinit|non-finite|finite`)
+
+// validatorName recognizes calls that constitute a finiteness check.
+var validatorName = regexp.MustCompile(`IsNaN|IsInf|Finite|Validate`)
+
+// Nanguard returns the analyzer enforcing the API-boundary guard from PR 2:
+// every exported function (or method on an exported type) of the public
+// package that returns float64 / []float64 / a float-vector type must either
+// validate finiteness on its path (math.IsNaN / math.IsInf / an AllFinite- or
+// Validate-style call) or explicitly document how NaN/Inf propagate. Analog
+// hardware produces non-finite values under fault injection; a public
+// accessor that silently forwards them turns a detectable hardware failure
+// into a silent caller corruption.
+func Nanguard(cfg NanguardConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "nanguard",
+		Doc:  "exported float-returning functions of the public package validate or document NaN/Inf propagation",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			if !fn.Name.IsExported() || !exportedReceiver(fn) {
+				return
+			}
+			if !returnsFloat(pass, fn) {
+				return
+			}
+			if docMentionsNonFinite(fn) || bodyValidates(fn) {
+				return
+			}
+			pass.Reportf(fn.Name.Pos(),
+				"exported %s returns floating-point data but neither validates nor documents NaN/Inf propagation",
+				fn.Name.Name)
+		})
+		return nil
+	}
+	return a
+}
+
+// exportedReceiver reports whether fn is a plain function or a method on an
+// exported receiver type.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// returnsFloat reports whether any result of fn is float-typed or a slice /
+// named vector of floats.
+func returnsFloat(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isFloat(t) {
+			return true
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok && isFloat(sl.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+// docMentionsNonFinite reports whether the doc comment addresses NaN/Inf.
+func docMentionsNonFinite(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && nanDocPattern.MatchString(fn.Doc.Text())
+}
+
+// bodyValidates reports whether the body calls a finiteness validator.
+func bodyValidates(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		case *ast.Ident:
+			name = f.Name
+		}
+		if validatorName.MatchString(name) || strings.HasPrefix(name, "Check") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

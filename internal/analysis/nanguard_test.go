@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestNanguard(t *testing.T) {
+	a := analysis.Nanguard(analysis.NanguardConfig{Pkgs: []string{"example.com/nanpub"}})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/nanpub")
+}
+
+func TestNanguardOutsidePublicPackage(t *testing.T) {
+	// Internal packages are not the API boundary; nothing is flagged there.
+	a := analysis.Nanguard(analysis.NanguardConfig{Pkgs: []string{"github.com/memlp/memlp"}})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/nanpub")
+}

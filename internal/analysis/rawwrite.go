@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawwriteConfig parameterizes the rawwrite analyzer.
+type RawwriteConfig struct {
+	// StatePkgs are the packages (pkgMatch patterns) that own the physical
+	// fabric state and may host //memlp:conductance-writer functions.
+	StatePkgs []string
+	// TypeName is the array type holding the state (e.g. "Crossbar").
+	TypeName string
+	// Fields are the protected conductance-state fields of TypeName.
+	Fields []string
+	// Mutators are the method names that bulk- or cell-mutate a protected
+	// field's matrix (e.g. Set, Zero).
+	Mutators []string
+}
+
+// conductanceWriterMarker annotates the approved programming funnel: the
+// write-verify API of internal/crossbar (Program/writeRow/writeDevice/
+// pinFaultCell and friends).
+const conductanceWriterMarker = "//memlp:conductance-writer"
+
+// Rawwrite returns the analyzer enforcing PR 2's programming invariant:
+// realized conductances (and the program-and-verify target cache) are only
+// ever mutated by the annotated write-verify funnel functions inside the
+// state-owning package. Everything else — including other code in
+// internal/crossbar itself — must go through that API, so write counting,
+// verify retries, fault pinning, and drift bookkeeping can never be
+// bypassed by a direct cell assignment. Outside the state package the
+// annotation has no effect: foreign packages can never write raw state.
+func Rawwrite(cfg RawwriteConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "rawwrite",
+		Doc:  "conductance state is mutated only via the annotated write-verify programming funnel",
+	}
+	mutators := map[string]bool{}
+	for _, m := range cfg.Mutators {
+		mutators[m] = true
+	}
+	a.Run = func(pass *Pass) error {
+		inStatePkg := pkgMatch(pass.Pkg.Path(), cfg.StatePkgs)
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			approved := inStatePkg && funcAnnotated(fn, conductanceWriterMarker)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || !mutators[sel.Sel.Name] {
+						return true
+					}
+					field, ok := protectedField(pass, cfg, sel.X)
+					if !ok || approved {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"direct %s on conductance state %s.%s outside the write-verify programming funnel (annotate the programming API with %s)",
+						sel.Sel.Name, cfg.TypeName, field, conductanceWriterMarker)
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						field, ok := protectedStore(pass, cfg, lhs)
+						if !ok || approved {
+							continue
+						}
+						pass.Reportf(lhs.Pos(),
+							"direct cell assignment into conductance state %s.%s outside the write-verify programming funnel",
+							cfg.TypeName, field)
+					}
+				}
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// protectedField reports whether e is a selector for one of the protected
+// state fields of the configured array type, returning the field name.
+func protectedField(pass *Pass, cfg RawwriteConfig, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	found := false
+	for _, f := range cfg.Fields {
+		if f == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != cfg.TypeName {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !pkgMatch(pkg.Path(), cfg.StatePkgs) {
+		return "", false
+	}
+	return name, true
+}
+
+// protectedStore reports whether lhs writes an element reached through a
+// protected field, e.g. x.gt.RawRow(i)[j] = v.
+func protectedStore(pass *Pass, cfg RawwriteConfig, lhs ast.Expr) (string, bool) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return "", false
+	}
+	call, ok := idx.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return protectedField(pass, cfg, sel.X)
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func rawwriteAnalyzer() *analysis.Analyzer {
+	return analysis.Rawwrite(analysis.RawwriteConfig{
+		StatePkgs: []string{"internal/crossbar"},
+		TypeName:  "Crossbar",
+		// Gt is the exported variant the cross-package fixture writes to;
+		// production state is unexported.
+		Fields:   []string{"gt", "progTarget", "Gt"},
+		Mutators: []string{"Set", "Zero", "Fill"},
+	})
+}
+
+func TestRawwriteStatePackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawwriteAnalyzer(), "example.com/memlp/internal/crossbar")
+}
+
+func TestRawwriteForeignPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawwriteAnalyzer(), "example.com/memlp/internal/noc")
+}

@@ -1,0 +1,53 @@
+package core
+
+import "context"
+
+func work()                     {}
+func step(ctx context.Context)  {}
+func done() bool                { return true }
+
+func observes(ctx context.Context, max int) {
+	for iter := 0; iter < max; iter++ {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+func delegates(ctx context.Context, max int) {
+	for attempt := 0; attempt <= max; attempt++ {
+		step(ctx)
+	}
+}
+
+func blindRetry(max int) {
+	for attempt := 0; attempt <= max; attempt++ { // want "iteration-count loop does not observe cancellation"
+		work()
+	}
+}
+
+func blindInfinite() {
+	for { // want "unbounded loop does not observe cancellation"
+		work()
+	}
+}
+
+func blindWhile() {
+	for !done() { // want "unbounded loop does not observe cancellation"
+		work()
+	}
+}
+
+func dataSweep(rows [][]float64) {
+	for i := 0; i < len(rows); i++ {
+		_ = rows[i]
+	}
+}
+
+func waived(max int) {
+	//memlpvet:ignore ctxloop retry budget is a small constant, body is non-blocking
+	for retry := 0; retry < max; retry++ {
+		work()
+	}
+}

@@ -1,0 +1,45 @@
+package crossbar
+
+// Matrix is a stand-in for linalg.Matrix.
+type Matrix struct{ data []float64 }
+
+func (m *Matrix) Set(i, j int, v float64) {}
+func (m *Matrix) Zero()                   {}
+func (m *Matrix) RawRow(i int) []float64  { return m.data }
+func (m *Matrix) At(i, j int) float64     { return 0 }
+
+// Crossbar mirrors the production array type.
+type Crossbar struct {
+	gt         *Matrix
+	progTarget *Matrix
+	Gt         *Matrix // exported variant for the cross-package fixture
+}
+
+// writeDevice is the approved write-verify funnel.
+//
+//memlp:conductance-writer
+func (x *Crossbar) writeDevice(i, j int, g float64) {
+	x.progTarget.Set(i, j, g)
+	x.gt.Set(i, j, g)
+}
+
+// Program resets the realized state before rewriting.
+//
+//memlp:conductance-writer
+func (x *Crossbar) Program() {
+	x.gt.Zero()
+	x.progTarget.Zero()
+}
+
+func (x *Crossbar) sneaky(i, j int, g float64) {
+	x.gt.Set(i, j, g)     // want "outside the write-verify programming funnel"
+	x.gt.RawRow(i)[j] = g // want "direct cell assignment into conductance state"
+	x.progTarget.Zero()   // want "outside the write-verify programming funnel"
+}
+
+func (x *Crossbar) read(i, j int) float64 { return x.gt.At(i, j) }
+
+func (x *Crossbar) waived(i, j int, g float64) {
+	//memlpvet:ignore rawwrite test-only calibration shim, not a device write
+	x.gt.Set(i, j, g)
+}

@@ -1,0 +1,10 @@
+package linalg
+
+// Identical is an approved exact-equality helper.
+//
+//memlp:tolerance-helper
+func Identical(a, b float64) bool { return a == b }
+
+func stray(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}

@@ -1,0 +1,12 @@
+package noc
+
+import "example.com/memlp/internal/crossbar"
+
+// The funnel annotation is meaningless outside the state-owning package.
+//
+//memlp:conductance-writer
+func Tamper(x *crossbar.Crossbar) {
+	x.Gt.Set(0, 0, 1) // want "outside the write-verify programming funnel"
+}
+
+func Observe(x *crossbar.Crossbar) float64 { return x.Gt.At(0, 0) }

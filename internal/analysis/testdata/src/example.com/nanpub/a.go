@@ -1,0 +1,44 @@
+package nanpub
+
+import "math"
+
+// Objective evaluates the objective at x.
+func Objective(x []float64) float64 { // want "neither validates nor documents NaN/Inf propagation"
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Norm returns the 1-norm of x; NaN inputs propagate to the result.
+func Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Checked clamps non-finite inputs to zero.
+func Checked(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// Solution bundles solve outputs.
+type Solution struct{ x []float64 }
+
+// Values copies the iterate out.
+func (s *Solution) Values() []float64 { // want "neither validates nor documents NaN/Inf propagation"
+	out := make([]float64, len(s.x))
+	copy(out, s.x)
+	return out
+}
+
+// Count returns the iterate length.
+func Count(s []float64) int { return len(s) }
+
+func internalHelper(x float64) float64 { return x }

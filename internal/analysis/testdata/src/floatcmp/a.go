@@ -1,0 +1,44 @@
+package floatcmp
+
+import "math"
+
+func bad(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func badNeq(a, b float32) bool {
+	if a != b { // want "exact float comparison"
+		return true
+	}
+	return false
+}
+
+func badConst(a float64) bool {
+	return a == 1.5 // want "exact float comparison"
+}
+
+// Sentinel idioms that must NOT be flagged (false-positive guards).
+
+func zeroSentinel(a float64) bool { return a == 0 }
+
+func zeroLeft(a float64) bool { return 0.0 != a }
+
+func infSentinel(a float64) bool { return a == math.Inf(1) }
+
+func negInfSentinel(a float64) bool { return a == -math.Inf(1) }
+
+func nanProbe(a float64) bool { return a != a }
+
+func notFloats(a, b int) bool { return a == b }
+
+// Annotations outside the approved helper package do not exempt.
+//
+//memlp:tolerance-helper
+func fakeHelper(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func waived(a, b float64) bool {
+	//memlpvet:ignore floatcmp both operands lie on the same quantization grid
+	return a == b
+}

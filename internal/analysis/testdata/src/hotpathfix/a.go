@@ -1,0 +1,69 @@
+package hotpathfix
+
+import "fmt"
+
+func done() {}
+
+func sink(x interface{}) {}
+
+type runner interface{ run() }
+
+type motor struct{}
+
+func (motor) run() {}
+
+//memlp:hotpath
+func badAlloc(v []float64) []float64 {
+	v = append(v, 1) // want "append"
+	m := make([]float64, 4) // want "make"
+	_ = m
+	s := fmt.Sprintf("x%d", 1) // want "fmt"
+	_ = s
+	_ = []int{1, 2} // want "composite literal"
+	f := func() {} // want "closure"
+	f()
+	return v
+}
+
+//memlp:hotpath
+func badMisc(a, b string) string {
+	defer done() // want "defer"
+	go done()    // want "go statement"
+	return a + b // want "string concatenation"
+}
+
+//memlp:hotpath
+func badBoxing(v float64) {
+	sink(v) // want "interface"
+}
+
+//memlp:hotpath
+func badConvert(m motor) runner {
+	return runner(m) // want "interface"
+}
+
+//memlp:hotpath
+func clean(v, w []float64) float64 {
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+//memlp:hotpath
+func cleanCalls(v []float64) int {
+	done()
+	return len(v)
+}
+
+func unannotated(v []float64) []float64 {
+	_ = fmt.Sprint("ok")
+	return append(v, 1)
+}
+
+//memlp:hotpath
+func waived(v []float64) []float64 {
+	//memlpvet:ignore hotpath cold-start path, runs once per solve
+	return append(v, 1)
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+const waiverSrc = `package w
+
+func a(x, y float64) bool {
+	//memlpvet:ignore floatcmp grid-aligned values compare exactly
+	return x == y
+}
+
+func b(x, y float64) bool {
+	//memlpvet:ignore floatcmp
+	return x == y
+}
+
+func c(x, y float64) bool {
+	return x == y //memlpvet:ignore wrong analyzer name given here
+}
+`
+
+// TestWaivers locks in the suppression contract: a well-formed waiver on the
+// line above suppresses exactly its analyzer; a reason-less waiver is itself
+// a finding and suppresses nothing; a waiver naming the wrong analyzer
+// suppresses nothing.
+func TestWaivers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("example.com/w", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(fset, []*ast.File{f}, pkg, info, []*Analyzer{Floatcmp(FloatcmpConfig{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", fset.Position(d.Pos).Line, d.Analyzer))
+	}
+	want := []string{"9:waiver", "10:floatcmp", "14:floatcmp"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}
+
+func TestPkgMatch(t *testing.T) {
+	cases := []struct {
+		path string
+		pats []string
+		want bool
+	}{
+		{"internal/core", []string{"internal/core"}, true},
+		{"github.com/memlp/memlp/internal/core", []string{"internal/core"}, true},
+		{"example.com/memlp/internal/core", []string{"internal/core"}, true},
+		{"github.com/memlp/memlp/internal/corex", []string{"internal/core"}, false},
+		{"github.com/memlp/memlp", []string{"github.com/memlp/memlp"}, true},
+		{"github.com/memlp/memlp/internal/core", []string{}, false},
+	}
+	for _, c := range cases {
+		if got := pkgMatch(c.path, c.pats); got != c.want {
+			t.Errorf("pkgMatch(%q, %v) = %v, want %v", c.path, c.pats, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSuite(t *testing.T) {
+	suite := Default()
+	if len(suite) != 5 {
+		t.Fatalf("Default() has %d analyzers, want 5", len(suite))
+	}
+	names := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely specified", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"floatcmp", "ctxloop", "rawwrite", "nanguard", "hotpath"} {
+		if !names[want] {
+			t.Errorf("Default() missing analyzer %q", want)
+		}
+	}
+}

@@ -180,6 +180,8 @@ func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*
 
 // fillDiagRows writes the X/Y/Z/W complementarity entries into the digital
 // mirror (rows r3 and r4).
+//
+//memlp:hotpath
 func (e *extended) fillDiagRows(x, y, w, z linalg.Vector) {
 	for i := 0; i < e.n; i++ {
 		r := e.rowR3(i)

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+// TestIterationKernelAllocations pins the //memlp:hotpath contract for the
+// PDIP per-iteration kernels at runtime: once their inputs exist, the
+// annotated leaf functions must not allocate. The memlpvet hotpath analyzer
+// enforces the same property at the source level.
+func TestIterationKernelAllocations(t *testing.T) {
+	const n = 64
+	r := rand.New(rand.NewSource(3))
+	vec := func() linalg.Vector {
+		v := linalg.NewVector(n)
+		for i := range v {
+			v[i] = r.Float64() + 0.5
+		}
+		return v
+	}
+	x, y, w, z := vec(), vec(), vec(), vec()
+	dx, dy := vec(), vec()
+	for i := range dx {
+		dx[i] -= 1 // mix of signs for the ratio test
+	}
+	pairs := [][2]linalg.Vector{{x, dx}, {y, dy}}
+	flat := []linalg.Vector{x, dx, y, dy}
+	vs := []linalg.Vector{x, y}
+
+	kernels := []struct {
+		name string
+		run  func()
+	}{
+		{"dualityGap", func() { _ = dualityGap(x, z, y, w) }},
+		{"stepLength", func() { _ = stepLength(0.9, pairs) }},
+		{"axpyAll", func() { axpyAll(1e-9, flat...) }},
+		{"clampPositive", func() { clampPositive(vs...) }},
+		{"slewLimit", func() { _ = slewLimit(x, dx) }},
+		{"normInfRange", func() { _ = normInfRange(x, 8, 16) }},
+	}
+	for _, k := range kernels {
+		if allocs := testing.AllocsPerRun(100, k.run); allocs > 0 {
+			t.Errorf("%s allocates %.0f per call, want 0", k.name, allocs)
+		}
+	}
+}

@@ -213,6 +213,12 @@ func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladde
 	// Rung 1: the initial attempt plus up to MaxResolves re-solves on the
 	// same (re-written) fabric.
 	for attempt := 0; attempt <= opts.MaxResolves; attempt++ {
+		// Cancellation during a solve is handled inside f.attempt; this
+		// check closes the gap between re-solves, so a cancelled caller is
+		// never charged another full attempt.
+		if last != nil && ctx.Err() != nil {
+			return finish(last, ""), ctx.Err()
+		}
 		res, ctxErr, err := attemptOnce()
 		if err != nil {
 			return nil, err

@@ -537,6 +537,9 @@ func onesVector(n int) linalg.Vector {
 	return v
 }
 
+// dualityGap computes zᵀx + yᵀw, the Eq. 8 complementarity gap.
+//
+//memlp:hotpath
 func dualityGap(x, z, y, w linalg.Vector) float64 {
 	zx, _ := z.Dot(x)
 	yw, _ := y.Dot(w)
@@ -549,6 +552,8 @@ func dualityGap(x, z, y, w linalg.Vector) float64 {
 // floored complementarity row can demand pushing such a variable negative
 // forever. Without the exclusion, a single such component collapses θ
 // geometrically (θ ← θ/10 each iteration) and deadlocks every other variable.
+//
+//memlp:hotpath
 func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
 	maxRatio := 0.0
 	for _, pr := range pairs {
@@ -571,6 +576,11 @@ func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
 	return r / maxRatio
 }
 
+// axpyAll applies v ← v + θ·dv to each (v, dv) pair of the flat argument
+// list. The variadic slice is built at the (annotated-caller-free) call
+// sites; the body itself must stay allocation-free.
+//
+//memlp:hotpath
 func axpyAll(theta float64, pairs ...linalg.Vector) {
 	for i := 0; i+1 < len(pairs); i += 2 {
 		v, dv := pairs[i], pairs[i+1]
@@ -580,6 +590,10 @@ func axpyAll(theta float64, pairs ...linalg.Vector) {
 	}
 }
 
+// clampPositive floors every component at the representability floor,
+// keeping the interior iterates strictly positive.
+//
+//memlp:hotpath
 func clampPositive(vs ...linalg.Vector) {
 	const floor = 1e-12
 	for _, v := range vs {
@@ -594,6 +608,8 @@ func clampPositive(vs ...linalg.Vector) {
 // slewLimit returns the largest step fraction that keeps θ·|Δ|∞ within a few
 // multiples of the state's own scale — the summing-amplifier saturation
 // bound. Returns +Inf-like (1.0) when the step is already tame.
+//
+//memlp:hotpath
 func slewLimit(state, delta linalg.Vector) float64 {
 	const slewFactor = 4.0
 	limit := slewFactor * (1 + state.NormInf())
@@ -630,6 +646,9 @@ func classifyRejected(x, y, w, z linalg.Vector) lp.Status {
 	return lp.StatusNumericalFailure
 }
 
+// normInfRange returns ‖v[start:start+count]‖∞ without slicing scratch.
+//
+//memlp:hotpath
 func normInfRange(v linalg.Vector, start, count int) float64 {
 	var mx float64
 	for _, x := range v[start : start+count] {

@@ -295,6 +295,8 @@ func New(cfg Config) (*Crossbar, error) {
 // uniform grid across [gmin, gmax] — a uniform grid would destroy small
 // coefficients sharing a row with large ones. Targets below the device's
 // minimum conductance floor at gmin; above gmax they saturate.
+//
+//memlp:hotpath
 func (x *Crossbar) quantizeG(g float64) float64 {
 	gmin, gmax := x.cfg.Device.GMin(), x.cfg.Device.GMax()
 	if g <= gmin {
@@ -339,6 +341,8 @@ func (x *Crossbar) Programmed() bool { return x.target != nil }
 // Program writes matrix a (non-negative, at most Size×Size) into the array.
 // Every cell of the mapped region is physically written: the call costs
 // rows·cols cell writes.
+//
+//memlp:conductance-writer
 func (x *Crossbar) Program(a *linalg.Matrix) error {
 	if a.Rows()+x.rowOff > x.cfg.Size || a.Cols()+x.colOff > x.cfg.Size {
 		return fmt.Errorf("%w: %dx%d at offset (%d,%d) into %d", ErrTooLarge, a.Rows(), a.Cols(), x.rowOff, x.colOff, x.cfg.Size)
@@ -436,8 +440,9 @@ func (x *Crossbar) writeRow(i int) {
 		// Program-and-verify skips cells whose quantized target is already
 		// programmed: unchanged coefficients cost no write pulses. This is
 		// what keeps the per-iteration refresh at O(N) — only the X/Y/Z/W
-		// cells (and re-balanced neighbours) actually change.
-		if tq == x.progTarget.At(i, j) {
+		// cells (and re-balanced neighbours) actually change. Both values
+		// lie on the quantizeG grid, so bit-exact identity is the right test.
+		if linalg.Identical(tq, x.progTarget.At(i, j)) {
 			continue
 		}
 		x.writeDevice(i, j, tq)
@@ -533,7 +538,7 @@ func (x *Crossbar) UpdateCellInPlace(i, j int, value float64) error {
 		x.pinFaultCell(i, j, k, tq)
 		return nil
 	}
-	if tq == x.progTarget.At(i, j) {
+	if linalg.Identical(tq, x.progTarget.At(i, j)) {
 		return nil
 	}
 	x.writeDevice(i, j, tq)
@@ -544,6 +549,8 @@ func (x *Crossbar) UpdateCellInPlace(i, j int, value float64) error {
 // attenuated by the series word-line and bit-line wire resistance on its
 // path (first-order IR-drop model: the cell current traverses j+1 word-line
 // segments from the driver and i+1 bit-line segments to the sense amp).
+//
+//memlp:hotpath
 func (x *Crossbar) effG(i, j int, g float64) float64 {
 	if g == 0 {
 		return 0
@@ -556,6 +563,22 @@ func (x *Crossbar) effG(i, j int, g float64) float64 {
 	}
 	dist := float64(i + j + 2)
 	return g / (1 + g*x.cfg.WireResistance*dist)
+}
+
+// senseRow integrates row i's cell currents for the analog input vi: the
+// numerator of the row's dot product and the row's total effective
+// conductance, both after per-cell IR-drop/drift attenuation. This is the
+// per-iteration inner kernel of every analog read (Algorithm 1/2 mat-vec and
+// residual paths).
+//
+//memlp:hotpath
+func (x *Crossbar) senseRow(i int, vi linalg.Vector) (num, sum float64) {
+	for j, g := range x.gt.RawRow(i) {
+		ge := x.effG(i, j, g)
+		num += ge * vi[j]
+		sum += ge
+	}
+	return num, sum
 }
 
 // MatVec performs the analog multiplication userMatrix · v, including DAC
@@ -578,13 +601,7 @@ func (x *Crossbar) MatVec(v linalg.Vector) (linalg.Vector, error) {
 	gs := x.cfg.SenseConductance
 	vo := scratchVec(&x.mvVO, x.rows)
 	for i := 0; i < x.rows; i++ {
-		grow := x.gt.RawRow(i)
-		var num, s float64
-		for j, g := range grow {
-			ge := x.effG(i, j, g)
-			num += ge * vi[j]
-			s += ge
-		}
+		num, s := x.senseRow(i, vi)
 		vo[i] = num / (gs + s)
 	}
 	out, err := x.fromAnalog(vo, &x.mvOut)
@@ -632,13 +649,7 @@ func (x *Crossbar) MatVecResidual(base, v, factor linalg.Vector) (linalg.Vector,
 	gs := x.cfg.SenseConductance
 	out := scratchVec(&x.resOut, x.rows)
 	for i := 0; i < x.rows; i++ {
-		grow := x.gt.RawRow(i)
-		var num, srow float64
-		for j, g := range grow {
-			ge := x.effG(i, j, g)
-			num += ge * vi[j]
-			srow += ge
-		}
+		num, srow := x.senseRow(i, vi)
 		t := x.rowScale[i] * num / (gs + srow)
 		if factor != nil {
 			t *= factor[i]

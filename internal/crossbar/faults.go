@@ -10,6 +10,7 @@ package crossbar
 import (
 	"math"
 
+	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/memristor"
 )
 
@@ -30,6 +31,8 @@ func (x *Crossbar) driftEnabled() bool {
 // driftFactor returns the multiplicative retention decay of cell (i, j):
 // (1−d)^age where age is the number of refresh cycles since the cell was last
 // programmed. Stuck cells are pinned (cellCycle = +Inf ⇒ age < 0 ⇒ factor 1).
+//
+//memlp:hotpath
 func (x *Crossbar) driftFactor(i, j int) float64 {
 	age := x.driftCycle - x.cellCycle.At(i, j)
 	if age <= 0 {
@@ -44,12 +47,14 @@ func (x *Crossbar) driftFactor(i, j int) float64 {
 // changed, and with write-verify enabled the verify loop burns its full retry
 // budget failing to move the device — the honest energy cost of programming a
 // faulty array blind.
+//
+//memlp:conductance-writer
 func (x *Crossbar) pinFaultCell(i, j int, kind memristor.FaultKind, tq float64) {
 	pinned := 0.0
 	if kind == memristor.FaultStuckOn {
 		pinned = x.cfg.Device.GMax()
 	}
-	if tq != x.progTarget.At(i, j) {
+	if !linalg.Identical(tq, x.progTarget.At(i, j)) {
 		x.progTarget.Set(i, j, tq)
 		x.counters.CellWrites++
 		if x.cfg.MaxWriteRetries > 0 && !x.verifyOK(pinned, tq) {
@@ -102,6 +107,8 @@ func (x *Crossbar) realizeWrite(i, j int, tq float64, attempt int) float64 {
 // writeDevice issues the physical write (plus verify retries when enabled)
 // for a healthy device and records the realized conductance. Callers have
 // already checked the progTarget cache and the fault map.
+//
+//memlp:conductance-writer
 func (x *Crossbar) writeDevice(i, j int, tq float64) {
 	x.progTarget.Set(i, j, tq)
 	x.counters.CellWrites++

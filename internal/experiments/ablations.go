@@ -333,6 +333,7 @@ func AblationWireResistance(cfg Config, m int, resistances []float64) ([]Ablatio
 }
 
 func formatLabel(prefix string, v float64) string {
+	//memlpvet:ignore floatcmp math.Trunc integrality probe, cosmetic label formatting only
 	if v == math.Trunc(v) {
 		return fmt.Sprintf("%s=%d", prefix, int(v))
 	}

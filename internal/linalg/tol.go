@@ -1,0 +1,20 @@
+package linalg
+
+import "math"
+
+// EqTol reports whether a and b agree to within the mixed absolute/relative
+// tolerance tol: |a−b| ≤ tol·(1+|a|+|b|) — the same scaling the solver's
+// convergence and cross-check tests use. Any NaN operand compares unequal.
+func EqTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Identical reports exact floating-point equality. It is the one approved
+// home for == between floats (enforced by memlpvet's floatcmp analyzer) and
+// exists for operands that provably lie on the same finite grid — quantized
+// programming targets, pinned fault conductances — where bit-exact identity
+// is the intended question and a tolerance would be wrong. NaN compares
+// unequal to itself.
+//
+//memlp:tolerance-helper
+func Identical(a, b float64) bool { return a == b }

@@ -1,0 +1,45 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqTol(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.05, 0.1, true},
+		{1, 1.5, 0.1, false},
+		{1e9, 1e9 * (1 + 1e-7), 1e-6, true},
+		{0, 1e-7, 1e-6, true},
+		{0, 1, 1e-6, false},
+		{math.NaN(), 1, 0.5, false},
+		{1, math.NaN(), 0.5, false},
+		{math.Inf(1), math.Inf(1), 0.5, false},
+	}
+	for _, c := range cases {
+		if got := EqTol(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqTol(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	// Runtime arithmetic (not constant folding): 0.1+0.2 != 0.3 in float64.
+	a, b := 0.1, 0.2
+	if !Identical(a+b, a+b) {
+		t.Error("Identical(x, x) = false for finite x")
+	}
+	if Identical(a+b, 0.3) {
+		t.Error("Identical(0.1+0.2, 0.3) = true; exact identity must not round")
+	}
+	if Identical(math.NaN(), math.NaN()) {
+		t.Error("Identical(NaN, NaN) = true")
+	}
+	if !Identical(math.Inf(1), math.Inf(1)) {
+		t.Error("Identical(+Inf, +Inf) = false")
+	}
+}

@@ -63,6 +63,7 @@ func (p YakopcicParams) Validate() error {
 		return fmt.Errorf("%w: motion amplitudes %v, %v", ErrInvalidParams, p.Ap, p.An)
 	case p.Xp <= 0 || p.Xp >= 1 || p.Xn <= 0 || p.Xn >= 1:
 		return fmt.Errorf("%w: window points %v, %v", ErrInvalidParams, p.Xp, p.Xn)
+	//memlpvet:ignore floatcmp Eta is a polarity flag restricted to the exact sentinels ±1
 	case p.Eta != 1 && p.Eta != -1:
 		return fmt.Errorf("%w: eta = %v (must be ±1)", ErrInvalidParams, p.Eta)
 	}

@@ -88,7 +88,10 @@ func (p *Problem) NumVariables() int { return p.inner.NumVariables() }
 // NumConstraints returns m.
 func (p *Problem) NumConstraints() int { return p.inner.NumConstraints() }
 
-// Objective evaluates cᵀx.
+// Objective evaluates cᵀx. NaN or ±Inf entries in x propagate into the
+// returned value unchanged; callers evaluating analog read-back should treat
+// a non-finite result as a hardware-fault signal (see Diagnostics), not as
+// an objective value.
 func (p *Problem) Objective(x []float64) (float64, error) {
 	return p.inner.Objective(linalg.Vector(x))
 }
