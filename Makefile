@@ -1,7 +1,7 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race lint vet memlpvet vuln cover
+.PHONY: all build test race lint vet memlpvet vuln cover bench-batch
 
 all: build test lint
 
@@ -38,3 +38,10 @@ vuln:
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Fabric-pool throughput benchmarks (the BENCH_BATCH.json source). Raise
+# -benchtime for tighter numbers on a quiet machine.
+bench-batch:
+	$(GO) test . ./internal/core/ ./internal/linalg/ -run '^$$' \
+		-bench 'BenchmarkBatchParallel|BenchmarkBatchValidation|BenchmarkSolveStructuredPDIPShape' \
+		-benchtime 3x -benchmem

@@ -251,6 +251,33 @@ func BenchmarkSolverReuse(b *testing.B) {
 	}
 }
 
+// --- Sharded fabric pool (batch parallelism acceptance benchmarks) ---------
+
+// benchmarkBatchParallel measures one 64-problem shared-A batch at a fixed
+// pool width. The per-call cost includes building and programming the
+// replicas, exactly as SolveBatch charges a real caller; the solve work
+// dominates at this instance size, so throughput should scale with the
+// width until the machine runs out of cores.
+func benchmarkBatchParallel(b *testing.B, par int) {
+	problems := poolBatch(b, 64, 24, 11)
+	s, err := NewSolver(EngineCrossbar, WithParallelism(par), WithSeed(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveBatch(ctx, problems); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchParallel1(b *testing.B) { benchmarkBatchParallel(b, 1) }
+func BenchmarkBatchParallel2(b *testing.B) { benchmarkBatchParallel(b, 2) }
+func BenchmarkBatchParallel4(b *testing.B) { benchmarkBatchParallel(b, 4) }
+func BenchmarkBatchParallel8(b *testing.B) { benchmarkBatchParallel(b, 8) }
+
 // BenchmarkSolveOneShot is the baseline the handle is measured against: the
 // package-level convenience wrapper rebuilds solver and fabric every call.
 func BenchmarkSolveOneShot(b *testing.B) {

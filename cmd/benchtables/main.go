@@ -15,8 +15,13 @@
 //	infeasible       infeasibility-detection speed (§4.4 text)
 //	iters            iteration counts per algorithm and variation
 //	varcheck         intrinsic LP sensitivity to perturbed matrices (§4.3)
+//	batch            sharded-fabric-pool batch throughput vs pool width
 //	ab1..ab7         ablations (see DESIGN.md)
 //	all              everything above at the configured sizes
+//
+// The batch table is host-dependent (it measures simulator wall time, so
+// speedup tops out at the machine's core count); -parallel sets the largest
+// pool width swept and -batch the instances per batch.
 //
 // The -full flag additionally measures the O(N³) software PDIP baseline in
 // fig6/fig7 (slow at large m).
@@ -32,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"github.com/memlp/memlp/internal/experiments"
 )
@@ -44,12 +50,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table  = fs.String("table", "all", "which table to regenerate (see command doc)")
-		sizes  = fs.String("sizes", "", "comma-separated constraint counts (default 4,16,64,256)")
-		vars   = fs.String("vars", "", "comma-separated variation fractions (default 0,0.05,0.10,0.20)")
-		trials = fs.Int("trials", 5, "instances per point")
-		seed   = fs.Int64("seed", 0, "seed offset for the instance stream")
-		full   = fs.Bool("full", false, "also measure the O(N³) software PDIP baseline")
+		table    = fs.String("table", "all", "which table to regenerate (see command doc)")
+		sizes    = fs.String("sizes", "", "comma-separated constraint counts (default 4,16,64,256)")
+		vars     = fs.String("vars", "", "comma-separated variation fractions (default 0,0.05,0.10,0.20)")
+		trials   = fs.Int("trials", 5, "instances per point")
+		seed     = fs.Int64("seed", 0, "seed offset for the instance stream")
+		full     = fs.Bool("full", false, "also measure the O(N³) software PDIP baseline")
+		parallel = fs.Int("parallel", 4, "largest fabric-pool width in the batch table (widths double from 1)")
+		batch    = fs.Int("batch", 32, "problems per batch in the batch table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,13 +78,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *parallel < 1 || *batch < 1 {
+		fmt.Fprintln(stderr, "benchtables: need -parallel ≥ 1 and -batch ≥ 1")
+		return 2
+	}
+	widths := poolWidths(*parallel)
+
 	tables := strings.Split(*table, ",")
 	if *table == "all" {
 		tables = []string{"fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b",
-			"infeasible", "iters", "varcheck", "ab1", "ab2", "ab3", "ab4", "ab5", "ab6", "ab7"}
+			"infeasible", "iters", "varcheck", "batch", "ab1", "ab2", "ab3", "ab4", "ab5", "ab6", "ab7"}
 	}
 	for _, t := range tables {
-		if err := emit(strings.TrimSpace(t), cfg, *full, stdout); err != nil {
+		if err := emit(strings.TrimSpace(t), cfg, *full, *batch, widths, stdout); err != nil {
 			fmt.Fprintf(stderr, "benchtables: %s: %v\n", t, err)
 			return 1
 		}
@@ -84,7 +98,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func emit(table string, cfg experiments.Config, full bool, w io.Writer) error {
+// poolWidths doubles from 1 up to max, always ending at max itself.
+func poolWidths(max int) []int {
+	var widths []int
+	for w := 1; w < max; w *= 2 {
+		widths = append(widths, w)
+	}
+	return append(widths, max)
+}
+
+func emit(table string, cfg experiments.Config, full bool, batch int, widths []int, w io.Writer) error {
 	ablM := 24 // ablation problem size
 	switch table {
 	case "fig5a", "fig5b":
@@ -170,6 +193,20 @@ func emit(table string, cfg experiments.Config, full bool, w io.Writer) error {
 		for _, r := range rows {
 			fmt.Fprintf(tw, "%d\t%.0f%%\t%.3f%%\t%.3f%%\n",
 				r.M, r.Variation*100, r.MeanRelErr*100, r.MaxRelErr*100)
+		}
+		return tw.Flush()
+
+	case "batch":
+		rows, err := experiments.BatchThroughput(cfg, batch, widths)
+		if err != nil {
+			return err
+		}
+		tw := newTable(w, "Batch throughput — sharded fabric pool, shared-A batches (host wall time)")
+		fmt.Fprintln(tw, "m\tn\twidth\tbatch\twall\tper solve\tspeedup\toptimal rate")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%v\t%.2fx\t%.0f%%\n",
+				r.M, r.N, r.Width, r.Batch, r.Wall.Round(time.Microsecond),
+				r.PerSolve.Round(time.Microsecond), r.Speedup, r.Optimal*100)
 		}
 		return tw.Flush()
 

@@ -44,6 +44,48 @@ func TestRunAblationTable(t *testing.T) {
 	}
 }
 
+func TestRunBatchTable(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-table", "batch", "-sizes", "6", "-vars", "0.05", "-batch", "4", "-parallel", "2"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Batch throughput") {
+		t.Errorf("missing table title:\n%s", s)
+	}
+	if !strings.Contains(s, "per solve") || !strings.Contains(s, "speedup") {
+		t.Errorf("missing headers:\n%s", s)
+	}
+}
+
+func TestRunBadBatchFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-parallel", "0"}, &out, &errBuf); code != 2 {
+		t.Fatalf("-parallel 0 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-batch", "0"}, &out, &errBuf); code != 2 {
+		t.Fatalf("-batch 0 exit = %d, want 2", code)
+	}
+}
+
+func TestPoolWidths(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{{1, []int{1}}, {4, []int{1, 2, 4}}, {6, []int{1, 2, 4, 6}}} {
+		got := poolWidths(tc.max)
+		if len(got) != len(tc.want) {
+			t.Fatalf("poolWidths(%d) = %v, want %v", tc.max, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("poolWidths(%d) = %v, want %v", tc.max, got, tc.want)
+			}
+		}
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-table", "fig99"}, &out, &errBuf)

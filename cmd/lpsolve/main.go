@@ -5,10 +5,17 @@
 // Usage:
 //
 //	lpsolve [-engine crossbar] [-variation 0.1] [-seed 1] [-noc mesh -tile 512] problem.lp
+//	lpsolve -parallel 4 batch0.lp batch1.lp batch2.lp ...
 //
 // Engines: crossbar (the paper's Algorithm 1), crossbar-large-scale
 // (Algorithm 2), pdip (software full-Newton baseline), pdip-reduced
 // (software reduced-KKT baseline), simplex.
+//
+// With more than one problem file the crossbar engine solves them as one
+// batch on a sharded fabric pool: the problems must share a constraint
+// matrix (only objectives and right-hand sides may differ), the shared
+// system is programmed once per pool shard, and -parallel sets the pool
+// width (0 = one shard per CPU). Results are independent of the width.
 package main
 
 import (
@@ -36,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 1, "random seed for variation draws")
 		nocTopo    = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
 		tile       = fs.Int("tile", 512, "NoC tile (crossbar) size")
+		parallel   = fs.Int("parallel", 0, "fabric-pool width for multi-file batches (0 = one shard per CPU; crossbar engine only)")
 		verbose    = fs.Bool("v", false, "print the solution vector")
 		format     = fs.String("format", "", "input format: text (default) | mps; .mps files are auto-detected")
 	)
@@ -43,26 +51,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	in := stdin
-	mps := false
-	if fs.NArg() > 0 {
-		f, err := os.Open(fs.Arg(0))
-		if err != nil {
-			fmt.Fprintf(stderr, "lpsolve: %v\n", err)
-			return 1
-		}
-		defer f.Close()
-		in = f
-		mps = strings.HasSuffix(strings.ToLower(fs.Arg(0)), ".mps")
-	}
-	read := memlp.ReadProblem
-	if mps || *format == "mps" {
-		read = memlp.ReadProblemMPS
-	}
-	p, err := read(in)
-	if err != nil {
-		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
-		return 1
+	problems, code := readProblems(fs.Args(), *format, stdin, stderr)
+	if code != 0 {
+		return code
 	}
 
 	engine, ok := engineByName(*engineName)
@@ -72,7 +63,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	// Hardware options only apply to the crossbar engines; passing them to a
-	// software engine would be rejected by memlp.NewSolver.
+	// software engine would be rejected by memlp.NewSolver. Batching (and so
+	// -parallel) is Algorithm 1 only.
 	crossbarEngine := engine == memlp.EngineCrossbar || engine == memlp.EngineCrossbarLargeScale
 	var opts []memlp.Option
 	if crossbarEngine {
@@ -87,6 +79,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lpsolve: -variation and -noc require a crossbar engine\n")
 		return 2
 	}
+	if engine == memlp.EngineCrossbar {
+		opts = append(opts, memlp.WithParallelism(*parallel))
+	} else if *parallel != 0 || len(problems) > 1 {
+		fmt.Fprintf(stderr, "lpsolve: -parallel and multi-file batches require the crossbar engine\n")
+		return 2
+	}
 
 	solver, err := memlp.NewSolver(engine, opts...)
 	if err != nil {
@@ -95,6 +93,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if len(problems) > 1 {
+		return runBatch(ctx, solver, engine, problems, *verbose, stdout, stderr)
+	}
+
+	p := problems[0]
 	sol, err := solver.Solve(ctx, p)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
@@ -118,13 +122,86 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.AnalogOps)
 	}
 	if *verbose && sol.X != nil {
-		fmt.Fprint(stdout, "x:         ")
-		for _, v := range sol.X {
-			fmt.Fprintf(stdout, " %.6g", v)
-		}
-		fmt.Fprintln(stdout)
+		printVector(stdout, sol.X)
 	}
 	return 0
+}
+
+// readProblems reads one problem per file argument, or a single problem from
+// stdin when no files are given.
+func readProblems(paths []string, format string, stdin io.Reader, stderr io.Writer) ([]*memlp.Problem, int) {
+	readOne := func(in io.Reader, mps bool) (*memlp.Problem, error) {
+		read := memlp.ReadProblem
+		if mps || format == "mps" {
+			read = memlp.ReadProblemMPS
+		}
+		return read(in)
+	}
+	if len(paths) == 0 {
+		p, err := readOne(stdin, false)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+			return nil, 1
+		}
+		return []*memlp.Problem{p}, 0
+	}
+	problems := make([]*memlp.Problem, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+			return nil, 1
+		}
+		p, err := readOne(f, strings.HasSuffix(strings.ToLower(path), ".mps"))
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "lpsolve: %s: %v\n", path, err)
+			return nil, 1
+		}
+		problems = append(problems, p)
+	}
+	return problems, 0
+}
+
+// runBatch solves a multi-file batch on the crossbar engine's fabric pool
+// and prints one line per problem plus the pool roll-up. On interruption the
+// completed prefix is still printed.
+func runBatch(ctx context.Context, solver *memlp.Solver, engine memlp.Engine, problems []*memlp.Problem, verbose bool, stdout, stderr io.Writer) int {
+	first := problems[0]
+	fmt.Fprintf(stdout, "batch:      %d problems (%d constraints, %d variables each)\n",
+		len(problems), first.NumConstraints(), first.NumVariables())
+	fmt.Fprintf(stdout, "engine:     %s\n", engine)
+
+	sols, err := solver.SolveBatch(ctx, problems)
+	for i, sol := range sols {
+		fmt.Fprintf(stdout, "[%3d] %-20s %-12s objective %-14.6g %d iters\n",
+			i, problems[i].Name(), sol.Status, sol.Objective, sol.Iterations)
+		if verbose && sol.X != nil {
+			printVector(stdout, sol.X)
+		}
+	}
+	if len(sols) > 0 {
+		if bs := sols[0].Batch; bs != nil {
+			fmt.Fprintf(stdout, "pool:       %d replicas, solves per shard %v\n", bs.Replicas, bs.ShardSolves)
+		}
+		if hw := sols[0].Hardware; hw != nil {
+			fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d analog ops; pool programming charged here)\n",
+				hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.AnalogOps)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsolve: %v (%d/%d problems finished)\n", err, len(sols), len(problems))
+		return 1
+	}
+	return 0
+}
+
+func printVector(stdout io.Writer, x []float64) {
+	fmt.Fprint(stdout, "x:         ")
+	for _, v := range x {
+		fmt.Fprintf(stdout, " %.6g", v)
+	}
+	fmt.Fprintln(stdout)
 }
 
 func engineByName(name string) (memlp.Engine, bool) {

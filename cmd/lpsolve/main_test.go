@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,6 +80,57 @@ func TestEngineByName(t *testing.T) {
 	}
 	if _, ok := engineByName("nope"); ok {
 		t.Error("engineByName accepted garbage")
+	}
+}
+
+// writeTempProblem drops a problem file for the batch tests; the instances
+// share tinyProblem's constraint matrix with per-file right-hand sides.
+func writeTempProblem(t *testing.T, name string, rhs1, rhs2 float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".lp")
+	content := fmt.Sprintf("name %s\nmaximize 3 2\nsubject 1 1 <= %g\nsubject 1 3 <= %g\n", name, rhs1, rhs2)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBatchMultipleFiles(t *testing.T) {
+	f1 := writeTempProblem(t, "first", 4, 6)
+	f2 := writeTempProblem(t, "second", 5, 6)
+	f3 := writeTempProblem(t, "third", 6, 6)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "crossbar", "-parallel", "2", f1, f2, f3},
+		strings.NewReader(""), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "batch:      3 problems") {
+		t.Errorf("missing batch header:\n%s", s)
+	}
+	for _, name := range []string{"first", "second", "third"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("missing result line for %q:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(s, "pool:       2 replicas") {
+		t.Errorf("missing pool roll-up:\n%s", s)
+	}
+	if !strings.Contains(s, "hardware:") {
+		t.Errorf("missing hardware line:\n%s", s)
+	}
+}
+
+func TestRunBatchRequiresCrossbar(t *testing.T) {
+	f1 := writeTempProblem(t, "a", 4, 6)
+	f2 := writeTempProblem(t, "b", 5, 6)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-engine", "simplex", f1, f2}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Fatalf("batch on simplex: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-engine", "simplex", "-parallel", "2", f1}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Fatalf("-parallel on simplex: exit = %d, want 2", code)
 	}
 }
 

@@ -7,12 +7,18 @@
 // Usage:
 //
 //	xbarsim -size 64 [-variation 0.1] [-iobits 8] [-writebits 14] \
-//	        [-wire 0] [-faults 0.01] [-writeretries 3] [-trials 20] [-seed 1]
+//	        [-wire 0] [-faults 0.01] [-writeretries 3] [-trials 20] \
+//	        [-parallel 0] [-seed 1]
 //
 // For each trial a random diagonally-dominant non-negative matrix and a
 // random input vector are drawn; the tool reports the relative error of the
 // analog mat-vec and the analog solve against exact linear algebra, as mean,
 // median and worst-case over the trials.
+//
+// Trials are independent — each draws its matrix, vectors, variation map and
+// fault placement from its own (seed + trial) stream — so -parallel runs
+// them on that many worker goroutines (0 = one per CPU) with statistics that
+// are identical for every width.
 //
 // With -faults the given fraction of cells is stuck (half at maximum
 // conductance, half at zero; fresh placement each trial), the post-program
@@ -31,7 +37,9 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
@@ -41,6 +49,29 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// trialConfig is the per-run configuration shared by every trial.
+type trialConfig struct {
+	size      int
+	varPct    float64
+	ioBits    int
+	writeBits int
+	wire      float64
+	faults    float64
+	retries   int
+	seed      int64
+}
+
+// trialResult carries one trial's statistics back to the aggregation loop.
+type trialResult struct {
+	mvErr             float64
+	solveErr          float64
+	solveOK           bool
+	solveFailed       bool
+	stuckOn, stuckOff int
+	retriesUsed       int64
+	err               error
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -55,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.Float64("faults", 0, "stuck-cell density (split evenly stuck-ON/OFF, e.g. 0.01)")
 		retries   = fs.Int("writeretries", 0, "write-verify corrective pulses per cell (0 = open-loop)")
 		trials    = fs.Int("trials", 20, "number of random trials")
+		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU); results are width-independent")
 		seed      = fs.Int64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,113 +96,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xbarsim: need -size ≥ 2 and -trials ≥ 1")
 		return 2
 	}
+	if *parallel < 0 {
+		fmt.Fprintln(stderr, "xbarsim: need -parallel ≥ 0")
+		return 2
+	}
+	if *faults > 0 {
+		// The density range check does not depend on the trial index, so
+		// fail fast before spinning up workers.
+		fm := memristor.FaultModel{StuckOnDensity: *faults / 2, StuckOffDensity: *faults / 2, Seed: *seed}
+		if err := fm.Validate(); err != nil {
+			fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+			return 2
+		}
+	}
 
-	// SIGINT stops the trial loop; statistics over the completed trials are
-	// still reported.
+	// SIGINT stops dispatching further trials; statistics over the completed
+	// trials are still reported.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	r := rand.New(rand.NewSource(*seed))
+	cfg := trialConfig{
+		size: *size, varPct: *varPct, ioBits: *ioBits, writeBits: *writeBits,
+		wire: *wire, faults: *faults, retries: *retries, seed: *seed,
+	}
+	width := *parallel
+	if width == 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width > *trials {
+		width = *trials
+	}
+
+	results := make([]trialResult, *trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range jobs {
+				results[trial] = runTrial(cfg, trial)
+			}
+		}()
+	}
+	dispatched := 0
+	for trial := 0; trial < *trials; trial++ {
+		if ctx.Err() != nil {
+			break
+		}
+		jobs <- trial
+		dispatched++
+	}
+	close(jobs)
+	wg.Wait()
+
 	var mvErrs, solveErrs []float64
 	var stuckOn, stuckOff, solveFailures int
 	var retriesUsed int64
-
-	for trial := 0; trial < *trials; trial++ {
-		if ctx.Err() != nil {
-			if len(mvErrs) == 0 {
-				fmt.Fprintln(stderr, "xbarsim: interrupted before any trial completed")
-				return 1
-			}
-			fmt.Fprintf(stderr, "xbarsim: interrupted after %d/%d trials\n", trial, *trials)
-			break
-		}
-		cfg := crossbar.Config{
-			Size:            *size,
-			IOBits:          *ioBits,
-			WriteBits:       *writeBits,
-			WireResistance:  *wire,
-			MaxWriteRetries: *retries,
-		}
-		if *faults > 0 {
-			fm := memristor.FaultModel{
-				StuckOnDensity:  *faults / 2,
-				StuckOffDensity: *faults / 2,
-				Seed:            *seed + int64(trial),
-			}
-			if err := fm.Validate(); err != nil {
-				fmt.Fprintf(stderr, "xbarsim: %v\n", err)
-				return 2
-			}
-			cfg.Faults = &fm
-		}
-		if *varPct > 0 {
-			vm, err := variation.NewPaperModel(*varPct, *seed+int64(trial))
-			if err != nil {
-				fmt.Fprintf(stderr, "xbarsim: %v\n", err)
-				return 1
-			}
-			cfg.Variation = vm
-		}
-		xb, err := crossbar.New(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+	for _, r := range results[:dispatched] {
+		if r.err != nil {
+			fmt.Fprintf(stderr, "xbarsim: %v\n", r.err)
 			return 1
 		}
-
-		a := linalg.NewMatrix(*size, *size)
-		for i := 0; i < *size; i++ {
-			for j := 0; j < *size; j++ {
-				a.Set(i, j, r.Float64()*3)
-			}
-			a.Set(i, i, a.At(i, i)+6+r.Float64()*6)
+		mvErrs = append(mvErrs, r.mvErr)
+		stuckOn += r.stuckOn
+		stuckOff += r.stuckOff
+		retriesUsed += r.retriesUsed
+		switch {
+		case r.solveFailed:
+			solveFailures++
+		case r.solveOK:
+			solveErrs = append(solveErrs, r.solveErr)
 		}
-		if err := xb.Program(a); err != nil {
-			fmt.Fprintf(stderr, "xbarsim: program: %v\n", err)
+	}
+	if dispatched < *trials {
+		if dispatched == 0 {
+			fmt.Fprintln(stderr, "xbarsim: interrupted before any trial completed")
 			return 1
 		}
-		census := xb.FaultCensus()
-		stuckOn += census.StuckOn
-		stuckOff += census.StuckOff
-		retriesUsed += xb.Counters().WriteRetries
-
-		v := linalg.NewVector(*size)
-		for i := range v {
-			v[i] = r.Float64()*2 - 1
-		}
-
-		got, err := xb.MatVec(v)
-		if err != nil {
-			fmt.Fprintf(stderr, "xbarsim: matvec: %v\n", err)
-			return 1
-		}
-		want, err := a.MatVec(v)
-		if err != nil {
-			fmt.Fprintf(stderr, "xbarsim: %v\n", err)
-			return 1
-		}
-		mvErrs = append(mvErrs, relErr(got, want))
-
-		b := linalg.NewVector(*size)
-		for i := range b {
-			b[i] = r.Float64()*2 - 1
-		}
-		sol, err := xb.Solve(b)
-		if err != nil {
-			// Stuck cells can make the analog network singular; that is a
-			// data point, not a tool failure.
-			if *faults > 0 {
-				solveFailures++
-				continue
-			}
-			fmt.Fprintf(stderr, "xbarsim: solve: %v\n", err)
-			return 1
-		}
-		exact, err := linalg.SolveDense(a, b)
-		if err != nil {
-			fmt.Fprintf(stderr, "xbarsim: %v\n", err)
-			return 1
-		}
-		solveErrs = append(solveErrs, relErr(sol, exact))
+		fmt.Fprintf(stderr, "xbarsim: interrupted after %d/%d trials\n", dispatched, *trials)
 	}
 
 	fmt.Fprintf(stdout, "crossbar %dx%d, variation %.0f%%, %d-bit I/O, %d-bit writes, wire %.2g Ω (%d trials)\n",
@@ -185,6 +189,97 @@ func run(args []string, stdout, stderr io.Writer) int {
 	report(stdout, "mat-vec relative error", mvErrs)
 	report(stdout, "solve   relative error", solveErrs)
 	return 0
+}
+
+// runTrial builds one crossbar under the configured non-idealities, draws
+// this trial's instance from its own (seed + trial) stream, and measures the
+// analog errors.
+func runTrial(cfg trialConfig, trial int) trialResult {
+	var res trialResult
+	r := rand.New(rand.NewSource(cfg.seed + int64(trial)))
+	xcfg := crossbar.Config{
+		Size:            cfg.size,
+		IOBits:          cfg.ioBits,
+		WriteBits:       cfg.writeBits,
+		WireResistance:  cfg.wire,
+		MaxWriteRetries: cfg.retries,
+	}
+	if cfg.faults > 0 {
+		xcfg.Faults = &memristor.FaultModel{
+			StuckOnDensity:  cfg.faults / 2,
+			StuckOffDensity: cfg.faults / 2,
+			Seed:            cfg.seed + int64(trial),
+		}
+	}
+	if cfg.varPct > 0 {
+		vm, err := variation.NewPaperModel(cfg.varPct, cfg.seed+int64(trial))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		xcfg.Variation = vm
+	}
+	xb, err := crossbar.New(xcfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
+
+	a := linalg.NewMatrix(cfg.size, cfg.size)
+	for i := 0; i < cfg.size; i++ {
+		for j := 0; j < cfg.size; j++ {
+			a.Set(i, j, r.Float64()*3)
+		}
+		a.Set(i, i, a.At(i, i)+6+r.Float64()*6)
+	}
+	if err := xb.Program(a); err != nil {
+		res.err = fmt.Errorf("program: %w", err)
+		return res
+	}
+	census := xb.FaultCensus()
+	res.stuckOn = census.StuckOn
+	res.stuckOff = census.StuckOff
+	res.retriesUsed = xb.Counters().WriteRetries
+
+	v := linalg.NewVector(cfg.size)
+	for i := range v {
+		v[i] = r.Float64()*2 - 1
+	}
+	got, err := xb.MatVec(v)
+	if err != nil {
+		res.err = fmt.Errorf("matvec: %w", err)
+		return res
+	}
+	want, err := a.MatVec(v)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.mvErr = relErr(got, want)
+
+	b := linalg.NewVector(cfg.size)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	sol, err := xb.Solve(b)
+	if err != nil {
+		// Stuck cells can make the analog network singular; that is a
+		// data point, not a tool failure.
+		if cfg.faults > 0 {
+			res.solveFailed = true
+			return res
+		}
+		res.err = fmt.Errorf("solve: %w", err)
+		return res
+	}
+	exact, err := linalg.SolveDense(a, b)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.solveErr = relErr(sol, exact)
+	res.solveOK = true
+	return res
 }
 
 // relErr returns ‖got − want‖∞ / (1 + ‖want‖∞).

@@ -44,6 +44,34 @@ func TestRunBadArgs(t *testing.T) {
 	}
 }
 
+// TestRunParallelWidthIndependent pins the -parallel contract: per-trial
+// seeding makes the reported statistics identical for every worker count.
+func TestRunParallelWidthIndependent(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, par := range []string{"1", "3", "8"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-size", "10", "-trials", "6", "-variation", "0.1",
+			"-faults", "0.02", "-seed", "5", "-parallel", par}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit = %d, stderr = %s", par, code, errBuf.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	for i, s := range outputs[1:] {
+		if s != outputs[0] {
+			t.Errorf("output differs between -parallel 1 and -parallel %d:\n%s\nvs\n%s",
+				[]int{3, 8}[i], outputs[0], s)
+		}
+	}
+}
+
+func TestRunBadParallel(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-parallel", "-2"}, &out, &errBuf); code != 2 {
+		t.Fatalf("parallel=-2 exit = %d, want 2", code)
+	}
+}
+
 func TestRelErr(t *testing.T) {
 	got := linalg.VectorOf(1, 2, 3)
 	want := linalg.VectorOf(1, 2, 4)

@@ -47,6 +47,20 @@ type Fabric interface {
 // Compile-time check: a single crossbar is a valid fabric.
 var _ Fabric = (*crossbar.Crossbar)(nil)
 
+// NoiseEpocher is implemented by fabrics whose stochastic write-noise state
+// (cycle-noise stream, fault write-sequence counter, verify cache, drift
+// clock) can be rebased to a per-problem epoch — see crossbar.SetNoiseEpoch.
+// The fabric pool rebases each shard to the PROBLEM index before every batch
+// member, which is what makes pooled results bit-identical regardless of the
+// pool width or of which shard ran which problem. Fabrics without the method
+// are assumed noise-free (the pool solves on them unrebased).
+type NoiseEpocher interface {
+	SetNoiseEpoch(epoch int64)
+}
+
+// Compile-time check: single crossbars support noise epochs.
+var _ NoiseEpocher = (*crossbar.Crossbar)(nil)
+
 // FabricFactory builds a fabric able to hold a size×size matrix. The solvers
 // call it once per Solve with the extended system's dimension.
 type FabricFactory func(size int) (Fabric, error)

@@ -55,6 +55,22 @@ type Options struct {
 	// preserves the legacy behavior exactly (Algorithm 1 fails fast,
 	// Algorithm 2 re-solves per MaxResolves only).
 	Recovery *RecoveryPolicy
+	// Parallelism is the fabric-pool width for SolveBatch: the shared
+	// extended matrix is replicated onto this many shard fabrics, each driven
+	// by its own worker goroutine. Zero means GOMAXPROCS; the width is always
+	// clamped to the batch size. Results are bit-identical for every width
+	// (per-problem noise epochs decouple the draws from the shard), so this
+	// knob trades only memory for throughput. Ignored by single solves.
+	Parallelism int
+	// ReplicaFabric builds one shard fabric of the batch pool. Unlike Fabric
+	// it is called once PER REPLICA, and every call must return an
+	// independent fabric realizing the identical device-variation pattern
+	// (clone the variation model at its base seed per call): replicas are
+	// interchangeable dies holding the same programmed array. Nil falls back
+	// to Fabric, which is only correct when that factory already returns
+	// independent, identically-behaving fabrics (the variation-free default
+	// does; a factory capturing one shared variation model does not).
+	ReplicaFabric FabricFactory
 	// Trace, when non-nil, receives per-iteration telemetry.
 	Trace func(t TraceEntry)
 }
@@ -111,6 +127,9 @@ func (o Options) validate() error {
 	if !(o.Regularization > 0 && o.Regularization < 1) {
 		return fmt.Errorf("%w: regularization %v outside (0,1)", lp.ErrInvalid, o.Regularization)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: parallelism %d", lp.ErrInvalid, o.Parallelism)
+	}
 	return nil
 }
 
@@ -139,6 +158,10 @@ type Result struct {
 	// Diagnostics carries fault and recovery telemetry; non-nil only when
 	// Options.Recovery is configured.
 	Diagnostics *Diagnostics
+	// Batch is the fabric-pool roll-up of the batch this result belongs to;
+	// attached to the FIRST result of a SolveBatch call only (the same place
+	// the one-time programming cost is charged), nil everywhere else.
+	Batch *BatchStats
 }
 
 // Solver is Algorithm 1: the memristor crossbar-based linear program solver.
@@ -450,6 +473,7 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 // snapshot keeps the best iterate seen, scored by the worst of the measured
 // convergence quantities (primal/dual infeasibility and duality gap).
 type snapshot struct {
+	ok              bool
 	score           float64
 	pinf, dinf, gap float64
 	x, y, w, z      linalg.Vector
@@ -466,6 +490,7 @@ func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
 	if score >= s.score {
 		return
 	}
+	s.ok = true
 	s.score = score
 	s.pinf, s.dinf, s.gap = pinf, dinf, gap
 	// Copy into retained buffers (append reuses capacity across iterations
@@ -476,7 +501,14 @@ func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
 	s.z = append(s.z[:0], z...)
 }
 
-func (s *snapshot) valid() bool { return s.x != nil }
+// reset invalidates the snapshot while keeping its buffers, so a pool worker
+// reuses one snapshot across every solve it runs.
+func (s *snapshot) reset() {
+	s.ok = false
+	s.score = infNaN()
+}
+
+func (s *snapshot) valid() bool { return s.ok }
 
 // equilibrate row-scales the problem: each constraint row of [A | b] is
 // divided by its maximum absolute coefficient, a standard digital presolve

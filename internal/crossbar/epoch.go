@@ -1,0 +1,90 @@
+package crossbar
+
+// This file implements per-problem noise epochs, the determinism contract of
+// the fabric pool (DESIGN.md D12). A batch replicated across P shard fabrics
+// must produce bit-identical results regardless of P and of which shard runs
+// which problem. Static state is already shard-independent — every replica is
+// programmed from a clone of the variation model at its base seed, so the
+// per-device geometry factors and the initially realized conductances match
+// cell for cell. What is NOT shard-independent is the history-dependent
+// stochastic state: the cycle-to-cycle noise stream position, the fault
+// model's write-attempt sequence number, the program-and-verify skip cache
+// (which decides whether a write draws noise at all), and the retention-drift
+// clock. SetNoiseEpoch rebases all four to a pure function of
+// (base seed, epoch), erasing whatever history the shard accumulated.
+
+import "math"
+
+// epochSeqShift positions each epoch's write-sequence numbers in a disjoint
+// 2³²-wide band, so the fault model's per-attempt noise hash can never
+// collide across problems (no realistic solve issues 4×10⁹ writes).
+const epochSeqShift = 32
+
+// SetNoiseEpoch rebases every stochastic write-noise source of the array to
+// a deterministic per-epoch stream, making all subsequent draws a function of
+// (base seed, epoch) alone:
+//
+//   - the variation model is reseeded to its epoch-derived stream (covers
+//     cycle-to-cycle write noise and any later full re-Program);
+//   - the fault model's write-sequence counter jumps to the epoch's band;
+//   - previously written program-and-verify targets are invalidated, so the
+//     next rewrite of a row cannot skip cells (a skip would silently retain a
+//     PREVIOUS epoch's noise draw) — untouched cells keep their realized
+//     conductance, which is canonical because it predates any epoch;
+//   - the retention-drift clock rewinds to zero, un-ageing every cell except
+//     the +Inf-pinned stuck ones.
+//
+// Callers then rewrite exactly the rows their algorithm refreshes (the
+// complementarity rows, for Algorithm 1); rewritten rows draw their noise
+// from the epoch stream in cell order, which is how a pooled batch member
+// realizes the same conductances on a fresh replica as on a heavily reused
+// one. Without stochastic noise sources the call leaves the write path
+// untouched (writes are already deterministic functions of the target and the
+// static device factors).
+//
+//memlp:conductance-writer
+func (x *Crossbar) SetNoiseEpoch(epoch int64) {
+	if x.cfg.Variation != nil {
+		x.cfg.Variation.ReseedEpoch(epoch)
+	}
+	if x.cfg.Faults != nil && x.cfg.Faults.WriteNoise > 0 {
+		x.writeSeq = int(epoch) << epochSeqShift
+	}
+	if x.stochasticWrites() && x.progTarget != nil {
+		// Invalidate — don't zero — the verify cache: NaN compares unequal to
+		// every real target, so the next rewrite of a row writes ALL its
+		// cells, zero targets included. That preserves the progTarget==0 ⇒
+		// gt==0 invariant the zero-skip in writeRow relies on, and makes the
+		// rewrite's noise-draw sequence identical to a fresh replica's (only
+		// non-zero targets draw). Cells that already read zero are left
+		// cached: they hold no conductance and no noise history.
+		for i := 0; i < x.progTarget.Rows(); i++ {
+			row := x.progTarget.RawRow(i)
+			for j, v := range row {
+				if v != 0 {
+					row[j] = math.NaN()
+				}
+			}
+		}
+	}
+	if x.driftEnabled() && x.cellCycle != nil {
+		x.driftCycle = 0
+		for i := 0; i < x.cellCycle.Rows(); i++ {
+			row := x.cellCycle.RawRow(i)
+			for j, v := range row {
+				if !math.IsInf(v, 1) {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// stochasticWrites reports whether device writes draw from a random stream
+// (cycle-to-cycle noise or fault-model write noise). Without either, realized
+// conductances are pure functions of target and static device factor, and the
+// program-and-verify skip cache cannot leak history.
+func (x *Crossbar) stochasticWrites() bool {
+	return (x.cfg.Variation != nil && x.cfg.CycleNoise > 0) ||
+		(x.cfg.Faults != nil && x.cfg.Faults.WriteNoise > 0)
+}

@@ -72,6 +72,7 @@ func fromCore(res *core.Result) *Result {
 		MatrixSize:          res.MatrixSize,
 		Resolves:            res.Resolves,
 		Diagnostics:         res.Diagnostics,
+		Batch:               res.Batch,
 	}
 }
 

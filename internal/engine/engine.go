@@ -43,6 +43,11 @@ type Result struct {
 	// Diagnostics carries fault and recovery telemetry from the crossbar
 	// engines; non-nil only when a fault model or write-verify is configured.
 	Diagnostics *core.Diagnostics
+
+	// Batch is the fabric-pool roll-up of a SolveBatch call (replica count,
+	// combined programming cost, per-shard utilization). Non-nil only on the
+	// first result of a batch.
+	Batch *core.BatchStats
 }
 
 // Backend is one solver engine behind a memlp.Solver handle. Implementations
@@ -64,10 +69,12 @@ type Backend interface {
 // matrix (the paper's high-data-rate scenario).
 type BatchBackend interface {
 	Backend
-	// SolveBatch solves the sequence on one persistent fabric. Each result's
-	// WallTime and Counters are per-solve marginals; the first result carries
-	// the programming cost. On cancellation the results completed so far are
-	// returned alongside the wrapped context error, with the interrupted
-	// solve's lp.StatusCanceled partial as the last element.
+	// SolveBatch solves the sequence on a pool of replicated fabrics. Each
+	// result's WallTime and Counters are per-solve marginals; the first result
+	// carries the pool's combined programming cost and the BatchStats roll-up.
+	// Results are bit-identical regardless of the pool width. On cancellation
+	// the results completed so far are returned in input order alongside the
+	// wrapped context error, with the interrupted solve's lp.StatusCanceled
+	// partial as the last element.
 	SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Result, error)
 }

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestBatchThroughput(t *testing.T) {
+	cfg := Config{Sizes: []int{6}, Variations: []float64{0.05}, Trials: 1}
+	rows, err := BatchThroughput(cfg, 4, []int{1, 2})
+	if err != nil {
+		t.Fatalf("BatchThroughput: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.M != 6 || r.Batch != 4 {
+			t.Errorf("row %d: M=%d Batch=%d, want 6/4", i, r.M, r.Batch)
+		}
+		if r.Wall <= 0 || r.PerSolve <= 0 {
+			t.Errorf("row %d: non-positive timings %v / %v", i, r.Wall, r.PerSolve)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("row %d: speedup %v", i, r.Speedup)
+		}
+		if r.Optimal < 0 || r.Optimal > 1 {
+			t.Errorf("row %d: optimal rate %v outside [0,1]", i, r.Optimal)
+		}
+	}
+	if rows[0].Width != 1 || rows[1].Width != 2 {
+		t.Errorf("widths = %d, %d, want 1, 2", rows[0].Width, rows[1].Width)
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("width-1 speedup = %v, want 1 (it is the baseline)", rows[0].Speedup)
+	}
+
+	if _, err := BatchThroughput(cfg, 2, []int{0}); err == nil {
+		t.Error("width 0 accepted")
+	}
+}

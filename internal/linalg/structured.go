@@ -41,7 +41,7 @@ type StructuredWorkspace struct {
 	rowNNZ   []int
 	liveRow  []bool
 	liveCol  []bool
-	colRows  []map[int]struct{}
+	colRows  [][]int32
 	order    []structuredStep
 	queue    []int
 	coreRows []int
@@ -62,16 +62,13 @@ func (w *StructuredWorkspace) prepare(a *Matrix, b Vector) {
 		w.rowNNZ = make([]int, n)
 		w.liveRow = make([]bool, n)
 		w.liveCol = make([]bool, n)
-		w.colRows = make([]map[int]struct{}, n)
-		for j := 0; j < n; j++ {
-			w.colRows[j] = make(map[int]struct{})
-		}
+		w.colRows = make([][]int32, n)
 		w.x = make(Vector, n)
 	} else {
 		copy(w.work.data, a.data)
 		clear(w.rowNNZ)
 		for j := 0; j < n; j++ {
-			clear(w.colRows[j])
+			w.colRows[j] = w.colRows[j][:0]
 		}
 	}
 	copy(w.rhs, b)
@@ -105,12 +102,18 @@ func (w *StructuredWorkspace) Solve(a *Matrix, b Vector) (Vector, error) {
 		}
 	}
 
-	// Column occupancy: which live rows hold a non-zero in each column.
-	// Kept as sets for O(1) add/remove during fill-in tracking.
+	// Column occupancy: which rows hold a non-zero in each column. Kept as
+	// append-only row-index slices rather than sets: an entry whose value has
+	// since become zero is a tombstone, detected exactly at use (eliminations
+	// zero the pivot column with an assignment, never arithmetic, so the test
+	// against 0 is reliable). Slices iterate in insertion order, which keeps
+	// the elimination sequence — and therefore the floating-point result —
+	// deterministic; a map's randomized iteration order here would perturb
+	// results run to run and across fabric-pool replicas.
 	for i := 0; i < n; i++ {
 		for j, v := range work.RawRow(i) {
 			if v != 0 {
-				colRows[j][i] = struct{}{}
+				colRows[j] = append(colRows[j], int32(i))
 			}
 		}
 	}
@@ -140,9 +143,14 @@ func (w *StructuredWorkspace) Solve(a *Matrix, b Vector) (Vector, error) {
 			return nil, fmt.Errorf("%w: empty row %d in presolve", ErrSingular, r)
 		}
 
-		// Eliminate the pivot column from every other live row.
-		for other := range colRows[pc] {
-			if other == r || !liveRow[other] {
+		// Eliminate the pivot column from every other live row. Tombstoned
+		// entries (rows whose pivot-column value has since been zeroed) and
+		// duplicate entries (a cell that cycled zero→fill-in→zero→fill-in
+		// appends once per revival) both read back exactly zero, so the skip
+		// makes the walk idempotent.
+		for _, o := range colRows[pc] {
+			other := int(o)
+			if other == r || !liveRow[other] || work.At(other, pc) == 0 {
 				continue
 			}
 			factor := work.At(other, pc) / pv
@@ -162,11 +170,11 @@ func (w *StructuredWorkspace) Solve(a *Matrix, b Vector) (Vector, error) {
 				nw := old - factor*v
 				orow[j] = nw
 				if old != 0 && nw == 0 {
+					// Leave the colRows entry as a tombstone.
 					rowNNZ[other]--
-					delete(colRows[j], other)
 				} else if old == 0 && nw != 0 {
 					rowNNZ[other]++
-					colRows[j][other] = struct{}{}
+					colRows[j] = append(colRows[j], o)
 				}
 			}
 			rhs[other] -= factor * rhs[r]

@@ -183,12 +183,83 @@ func TestPropertyStructuredEqualsDense(t *testing.T) {
 	}
 }
 
+// TestStructuredDeterministicAcrossWorkspaces pins the elimination order: two
+// independent workspaces solving the same system must produce bit-identical
+// results. The column-occupancy tracking iterates slices in insertion order;
+// a map here would randomize the elimination sequence per workspace and
+// perturb the floating-point result — which would break the fabric pool's
+// bit-identical-across-replicas contract (each replica owns a workspace).
+func TestStructuredDeterministicAcrossWorkspaces(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	a, b := buildPDIPLikeMatrix(r, 24, 8)
+	var w1, w2 StructuredWorkspace
+	x1, err := w1.Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ref := x1.Clone()
+	// Desynchronize the second workspace's history before the comparison
+	// solve: prior solves must not influence later results either.
+	r2 := rand.New(rand.NewSource(99))
+	a2, b2 := buildPDIPLikeMatrix(r2, 24, 8)
+	if _, err := w2.Solve(a2, b2); err != nil {
+		t.Fatalf("history Solve: %v", err)
+	}
+	x2, err := w2.Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i := range ref {
+		if !Identical(x2[i], ref[i]) {
+			t.Fatalf("x[%d] = %v, want bit-identical %v across workspaces", i, x2[i], ref[i])
+		}
+	}
+}
+
+// TestStructuredWorkspaceReuseAllocs pins the slice-backed occupancy sets:
+// same-shape re-solves on a warmed workspace must not allocate (the map
+// version allocated per fill-in insert and on every clear).
+func TestStructuredWorkspaceReuseAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a, b := buildPDIPLikeMatrix(r, 24, 8)
+	var w StructuredWorkspace
+	if _, err := w.Solve(a, b); err != nil {
+		t.Fatalf("warmup Solve: %v", err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := w.Solve(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warmed workspace allocates %.1f/solve, want 0", allocs)
+	}
+}
+
 func BenchmarkSolveStructuredPDIPShape(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	a, rhs := buildPDIPLikeMatrix(r, 60, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveStructured(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveStructuredPDIPShapeReused measures the workspace-reuse path
+// the solvers actually run (each crossbar keeps one workspace hot).
+func BenchmarkSolveStructuredPDIPShapeReused(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, rhs := buildPDIPLikeMatrix(r, 60, 20)
+	var w StructuredWorkspace
+	if _, err := w.Solve(a, rhs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(a, rhs); err != nil {
 			b.Fatal(err)
 		}
 	}

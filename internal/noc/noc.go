@@ -384,6 +384,20 @@ func (f *TiledFabric) Solve(b linalg.Vector) (linalg.Vector, error) {
 	return x, nil
 }
 
+// SetNoiseEpoch rebases every tile's stochastic write-noise state to the
+// given per-problem epoch (see crossbar.SetNoiseEpoch). Tiles share one
+// variation model, so the reseed is idempotent across tiles; the per-tile
+// write-sequence counters and verify caches are rebased individually. The
+// fabric pool calls this before each batch member so pooled NoC solves stay
+// bit-identical regardless of which replica runs which problem.
+func (f *TiledFabric) SetNoiseEpoch(epoch int64) {
+	for _, row := range f.tiles {
+		for _, xb := range row {
+			xb.SetNoiseEpoch(epoch)
+		}
+	}
+}
+
 // Counters aggregates the constituent crossbars' counters.
 func (f *TiledFabric) Counters() crossbar.Counters {
 	var total crossbar.Counters

@@ -1,0 +1,120 @@
+package variation
+
+import "testing"
+
+// TestCloneReplaysBaseStream checks a clone restarts the base seed's draw
+// sequence from the beginning — the fabric pool relies on this so every
+// replica's Program-time device factors match the original's cell for cell.
+func TestCloneReplaysBaseStream(t *testing.T) {
+	m, err := NewPaperModel(0.1, 11)
+	if err != nil {
+		t.Fatalf("NewPaperModel: %v", err)
+	}
+	var orig []float64
+	for i := 0; i < 32; i++ {
+		orig = append(orig, m.Factor())
+	}
+	c := m.Clone()
+	for i, want := range orig {
+		if got := c.Factor(); got != want {
+			t.Fatalf("clone draw %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestCloneIsIndependent checks draws on a clone do not advance the original.
+func TestCloneIsIndependent(t *testing.T) {
+	m, err := NewPaperModel(0.1, 11)
+	if err != nil {
+		t.Fatalf("NewPaperModel: %v", err)
+	}
+	ref, err := NewPaperModel(0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	for i := 0; i < 16; i++ {
+		c.Factor()
+	}
+	for i := 0; i < 16; i++ {
+		if got, want := m.Factor(), ref.Factor(); got != want {
+			t.Fatalf("original draw %d = %v, want %v (perturbed by clone)", i, got, want)
+		}
+	}
+}
+
+// TestReseedEpochDeterministic checks the epoch stream is a pure function of
+// (base seed, epoch): same epoch replays, different epochs and different base
+// seeds diverge.
+func TestReseedEpochDeterministic(t *testing.T) {
+	draw := func(seed, epoch int64, n int) []float64 {
+		m, err := NewPaperModel(0.1, seed)
+		if err != nil {
+			t.Fatalf("NewPaperModel: %v", err)
+		}
+		m.ReseedEpoch(epoch)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = m.Factor()
+		}
+		return out
+	}
+	a := draw(5, 3, 16)
+	b := draw(5, 3, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, epoch) diverged at draw %d", i)
+		}
+	}
+	c := draw(5, 4, 16)
+	d := draw(6, 3, 16)
+	sameC, sameD := true, true
+	for i := range a {
+		sameC = sameC && a[i] == c[i]
+		sameD = sameD && a[i] == d[i]
+	}
+	if sameC {
+		t.Error("different epochs produced an identical stream")
+	}
+	if sameD {
+		t.Error("different base seeds produced an identical epoch stream")
+	}
+}
+
+// TestReseedEpochErasesPosition checks ReseedEpoch discards however many
+// draws were already consumed — a reused replica and a fresh one land on the
+// same stream position.
+func TestReseedEpochErasesPosition(t *testing.T) {
+	fresh, err := NewPaperModel(0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, err := NewPaperModel(0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		used.Factor()
+	}
+	fresh.ReseedEpoch(7)
+	used.ReseedEpoch(7)
+	for i := 0; i < 16; i++ {
+		if got, want := used.Factor(), fresh.Factor(); got != want {
+			t.Fatalf("draw %d = %v, want %v (history leaked through reseed)", i, got, want)
+		}
+	}
+}
+
+// TestSeedAccessor pins the stored base seed.
+func TestSeedAccessor(t *testing.T) {
+	m, err := NewPaperModel(0.1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed() != 23 {
+		t.Errorf("Seed() = %d, want 23", m.Seed())
+	}
+	if m.Clone().Seed() != 23 {
+		t.Errorf("Clone().Seed() = %d, want 23", m.Clone().Seed())
+	}
+}

@@ -55,6 +55,7 @@ func (d Distribution) String() string {
 type Model struct {
 	dist      Distribution
 	magnitude float64
+	seed      int64
 	rng       *rand.Rand
 }
 
@@ -71,7 +72,7 @@ func NewModel(dist Distribution, magnitude float64, seed int64) (*Model, error) 
 	default:
 		return nil, fmt.Errorf("variation: unknown distribution %d", int(dist))
 	}
-	return &Model{dist: dist, magnitude: magnitude, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Model{dist: dist, magnitude: magnitude, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // NewPaperModel returns the model used throughout the paper's evaluation:
@@ -82,6 +83,41 @@ func NewPaperModel(magnitude float64, seed int64) (*Model, error) {
 
 // Magnitude returns the configured maximum relative deviation.
 func (m *Model) Magnitude() float64 { return m.magnitude }
+
+// Seed returns the base seed the model was constructed with.
+func (m *Model) Seed() int64 { return m.seed }
+
+// Clone returns an independent model with the same distribution, magnitude,
+// and base seed, with its stream rewound to the beginning — exactly the model
+// NewModel would return. Replicated fabrics clone the model so every replica
+// draws the identical static device-variation sequence at Program time.
+func (m *Model) Clone() *Model {
+	return &Model{dist: m.dist, magnitude: m.magnitude, seed: m.seed, rng: rand.New(rand.NewSource(m.seed))}
+}
+
+// ReseedEpoch restarts the model's stream at a deterministic derivation of
+// the base seed and the given epoch, so that all draws after the call are a
+// function of (seed, epoch) alone — independent of how many draws the model
+// has served so far. The fabric pool rebases each shard's noise stream to the
+// PROBLEM index before every batch member, which is what makes batch results
+// bit-identical regardless of which shard (or how many shards) ran them.
+// Epoch values must not collide with the base seed's own stream; mixEpoch
+// guarantees that by avalanche-mixing the pair.
+func (m *Model) ReseedEpoch(epoch int64) {
+	m.rng = rand.New(rand.NewSource(mixEpoch(m.seed, epoch)))
+}
+
+// mixEpoch combines a base seed and an epoch into one well-distributed
+// 63-bit seed using the SplitMix64 finalizer (Steele et al.), the standard
+// stateless way to derive independent streams from a (key, counter) pair.
+func mixEpoch(seed, epoch int64) int64 {
+	z := uint64(seed) ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Mask to 63 bits so the derived seed is non-negative.
+	return int64(z & 0x7fffffffffffffff)
+}
 
 // Distribution returns the configured distribution.
 func (m *Model) Distribution() Distribution { return m.dist }

@@ -207,6 +207,23 @@ type HardwareEstimate struct {
 	Conversions int64
 }
 
+// BatchStats is the fabric-pool roll-up of one SolveBatch call, attached to
+// the batch's first Solution — the same place the pool's one-time programming
+// cost is charged. Per-Solution hardware counters remain per-solve marginals;
+// the replica count and shard utilization are batch-level properties and live
+// here.
+type BatchStats struct {
+	// Replicas is the pool width: how many fabric replicas were programmed.
+	Replicas int
+	// ShardSolves[r] counts the problems shard r completed. Scheduling is
+	// load-balanced and nondeterministic, so the split varies run to run even
+	// though every Solution is bit-identical.
+	ShardSolves []int
+	// ShardBusy[r] is the wall time shard r spent solving; divide by the
+	// batch wall time for that shard's utilization.
+	ShardBusy []time.Duration
+}
+
 // FaultModel describes permanent and progressive defects of the simulated
 // memristor arrays, beyond the paper's per-write process variation: stuck
 // cells, extra per-write programming noise, and retention drift. Pass it to
@@ -273,4 +290,7 @@ type Solution struct {
 	// Diagnostics carries fault and recovery telemetry (nil unless the
 	// solver was built with WithFaultModel or WithWriteVerify).
 	Diagnostics *Diagnostics
+	// Batch is the fabric-pool roll-up of a SolveBatch call; non-nil only on
+	// the first Solution of a batch.
+	Batch *BatchStats
 }

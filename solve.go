@@ -75,6 +75,7 @@ type options struct {
 	nocTopology    noc.Topology
 	nocTileSize    int
 	literal        bool
+	parallelism    int
 	faults         *FaultModel
 	writeRetries   int
 	writeVerifyTol float64
@@ -110,6 +111,11 @@ func (o *options) validateFor(e Engine) error {
 			ok = e == EngineCrossbarLargeScale
 		case "WithMaxIterations":
 			ok = e != EngineSimplex
+		case "WithParallelism":
+			// Batching — and therefore the fabric pool — exists only on the
+			// Algorithm 1 engine; Algorithm 2 and the software engines solve
+			// strictly one problem at a time.
+			ok = e == EngineCrossbar
 		default: // crossbar hardware options
 			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale
 		}
@@ -278,6 +284,24 @@ func WithLiteralFillers() Option {
 	}
 }
 
+// WithParallelism sets the fabric-pool width for SolveBatch on EngineCrossbar:
+// the batch is load-balanced across n identically-programmed fabric replicas,
+// the way a multi-die deployment replicates one array and fans instances out
+// across the copies. Zero (the default) uses GOMAXPROCS; the width is always
+// clamped to the batch size. Results are bit-identical for every width —
+// each problem's stochastic noise draws are derived from (seed, problem
+// index), never from the shard that happens to run it.
+func WithParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("%w: parallelism %d", ErrInvalid, n)
+		}
+		o.parallelism = n
+		o.set["WithParallelism"] = true
+		return nil
+	}
+}
+
 // WithFaultModel injects permanent device defects (stuck-at-ON/OFF cells,
 // extra write noise, retention drift) into the crossbar engines' simulated
 // arrays and enables the recovery-escalation ladder: failed solves are
@@ -424,12 +448,11 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 		xcfg.Faults = &fm
 	}
 
-	var factory core.FabricFactory
+	var factory, replica core.FabricFactory
 	if o.useNoC {
 		cfg := noc.Config{Topology: o.nocTopology, TileSize: o.nocTileSize, Crossbar: xcfg}
 		s.nocCfg = &cfg
-		factory = func(size int) (core.Fabric, error) {
-			c := cfg
+		build := func(c noc.Config, size int) (core.Fabric, error) {
 			needed := (size + c.TileSize - 1) / c.TileSize
 			if needed*needed > c.MaxTiles {
 				c.MaxTiles = needed * needed
@@ -441,8 +464,25 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 			s.nocFabrics = append(s.nocFabrics, f)
 			return f, nil
 		}
+		factory = func(size int) (core.Fabric, error) { return build(cfg, size) }
+		replica = func(size int) (core.Fabric, error) {
+			// Every replica gets its own variation model clone at the base
+			// seed: independent streams, identical device-variation pattern.
+			c := cfg
+			if c.Crossbar.Variation != nil {
+				c.Crossbar.Variation = c.Crossbar.Variation.Clone()
+			}
+			return build(c, size)
+		}
 	} else {
 		factory = core.SingleCrossbarFactory(xcfg)
+		replica = func(size int) (core.Fabric, error) {
+			c := xcfg
+			if c.Variation != nil {
+				c.Variation = c.Variation.Clone()
+			}
+			return core.SingleCrossbarFactory(c)(size)
+		}
 	}
 
 	alpha := o.alpha
@@ -451,6 +491,8 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 	}
 	copts := core.Options{
 		Fabric:         factory,
+		ReplicaFabric:  replica,
+		Parallelism:    o.parallelism,
 		Alpha:          alpha,
 		ConstantStep:   o.constantStep,
 		LiteralFillers: o.literal,
@@ -506,13 +548,15 @@ func (s *Solver) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 }
 
 // SolveBatch solves a sequence of problems sharing one constraint matrix A
-// (with varying b and c) on one persistent fabric — the paper's
-// high-data-rate scenario. The fabric is programmed once; each subsequent
-// solve pays only the O(N)-per-iteration coefficient refresh, and the
-// array's static process variation persists across the batch exactly as
-// deployed hardware would. Each Solution's WallTime and hardware counters
-// are measured per solve; the first additionally carries the one-time
-// programming (and, with NoC, the batch's transfer) cost.
+// (with varying b and c) on a pool of replicated fabrics — the paper's
+// high-data-rate scenario. Each replica is programmed once; each solve pays
+// only the O(N)-per-iteration coefficient refresh, and the problems are
+// load-balanced across the pool (WithParallelism sets the width, default
+// GOMAXPROCS). Solutions are bit-identical for every pool width: noise
+// draws are a function of (seed, problem index), not of scheduling. Each
+// Solution's WallTime and hardware counters are measured per solve; the
+// first additionally carries the pool's one-time programming (and, with NoC,
+// the batch's transfer) cost, plus the BatchStats roll-up.
 //
 // On cancellation the Solutions completed before the interruption are
 // returned together with the wrapped context error; the interrupted solve
@@ -578,6 +622,13 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 			CellWrites:   res.Counters.CellWrites,
 			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
 			Conversions:  res.Counters.IOConversions,
+		}
+	}
+	if b := res.Batch; b != nil {
+		sol.Batch = &BatchStats{
+			Replicas:    b.Replicas,
+			ShardSolves: b.ShardSolves,
+			ShardBusy:   b.ShardBusy,
 		}
 	}
 	if d := res.Diagnostics; d != nil {

@@ -31,6 +31,11 @@ func TestIncompatibleOptions(t *testing.T) {
 		{"alpha on simplex", EngineSimplex, []Option{WithAlpha(1.1)}},
 		{"fault model on pdip", EnginePDIP, []Option{WithFaultModel(FaultModel{StuckOnDensity: 0.01})}},
 		{"write verify on simplex", EngineSimplex, []Option{WithWriteVerify(3, 0.01)}},
+		{"parallelism on pdip", EnginePDIP, []Option{WithParallelism(2)}},
+		{"parallelism on simplex", EngineSimplex, []Option{WithParallelism(2)}},
+		// Batching is Algorithm 1 only; the pool option must be rejected on
+		// the serial-only large-scale engine too.
+		{"parallelism on large-scale", EngineCrossbarLargeScale, []Option{WithParallelism(2)}},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,6 +64,8 @@ func TestIncompatibleOptions(t *testing.T) {
 		{"crossbar fault hardware", EngineCrossbar, []Option{
 			WithFaultModel(FaultModel{StuckOnDensity: 0.005, StuckOffDensity: 0.005}),
 			WithWriteVerify(3, 0.02)}},
+		{"crossbar with parallelism", EngineCrossbar, []Option{
+			WithParallelism(4), WithVariation(0.1), WithSeed(3)}},
 	}
 	for _, tc := range valid {
 		t.Run(tc.name, func(t *testing.T) {
