@@ -1,7 +1,7 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race lint vet memlpvet vuln cover bench-batch
+.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bless-traces
 
 all: build test lint
 
@@ -45,3 +45,16 @@ bench-batch:
 	$(GO) test . ./internal/core/ ./internal/linalg/ -run '^$$' \
 		-bench 'BenchmarkBatchParallel|BenchmarkBatchValidation|BenchmarkSolveStructuredPDIPShape' \
 		-benchtime 3x -benchmem
+
+# Trace-recording overhead (the BENCH_TRACE.json source): the same solve
+# with and without the ring-sink recorder.
+bench-trace:
+	$(GO) test . -run '^$$' \
+		-bench 'BenchmarkSolveTraced|BenchmarkSolveUntraced' \
+		-benchtime 50x -benchmem
+
+# Regenerate the golden iteration traces under testdata/traces/ from the
+# current solver output (DESIGN.md D13). Review the JSONL diff like any
+# other code change before committing.
+bless-traces:
+	$(GO) test . -run 'TestGoldenTraces$$' -args -bless-traces

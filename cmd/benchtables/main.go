@@ -29,9 +29,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"github.com/memlp/memlp/internal/experiments"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 func main() {
@@ -50,14 +54,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		table    = fs.String("table", "all", "which table to regenerate (see command doc)")
-		sizes    = fs.String("sizes", "", "comma-separated constraint counts (default 4,16,64,256)")
-		vars     = fs.String("vars", "", "comma-separated variation fractions (default 0,0.05,0.10,0.20)")
-		trials   = fs.Int("trials", 5, "instances per point")
-		seed     = fs.Int64("seed", 0, "seed offset for the instance stream")
-		full     = fs.Bool("full", false, "also measure the O(N³) software PDIP baseline")
-		parallel = fs.Int("parallel", 4, "largest fabric-pool width in the batch table (widths double from 1)")
-		batch    = fs.Int("batch", 32, "problems per batch in the batch table")
+		table       = fs.String("table", "all", "which table to regenerate (see command doc)")
+		sizes       = fs.String("sizes", "", "comma-separated constraint counts (default 4,16,64,256)")
+		vars        = fs.String("vars", "", "comma-separated variation fractions (default 0,0.05,0.10,0.20)")
+		trials      = fs.Int("trials", 5, "instances per point")
+		seed        = fs.Int64("seed", 0, "seed offset for the instance stream")
+		full        = fs.Bool("full", false, "also measure the O(N³) software PDIP baseline")
+		parallel    = fs.Int("parallel", 4, "largest fabric-pool width in the batch table (widths double from 1)")
+		batch       = fs.Int("batch", 32, "problems per batch in the batch table")
+		traceFile   = fs.String("trace", "", "stream the sweeps' crossbar trace records as JSON Lines to FILE (- = stdout)")
+		metricsAddr = fs.String("metrics-addr", "", "after the tables, serve Prometheus metrics on ADDR until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +74,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Context: ctx}
+
+	var sinks trace.Multi
+	var jsonl *trace.JSONL
+	if *traceFile != "" {
+		traceW := io.Writer(stdout)
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchtables: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			traceW = f
+		}
+		jsonl = trace.NewJSONL(traceW)
+		sinks = append(sinks, jsonl)
+	}
+	var metrics *trace.Metrics
+	if *metricsAddr != "" {
+		metrics = trace.NewMetrics()
+		sinks = append(sinks, metrics)
+	}
+	if len(sinks) > 0 {
+		cfg.Trace = sinks
+	}
+
 	var err error
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fmt.Fprintf(stderr, "benchtables: -sizes: %v\n", err)
@@ -94,6 +126,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "benchtables: %s: %v\n", t, err)
 			return 1
 		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(stderr, "benchtables: trace stream: %v\n", err)
+			return 1
+		}
+	}
+	if metrics != nil {
+		return serveMetrics(ctx, *metricsAddr, metrics, stdout, stderr)
+	}
+	return 0
+}
+
+// serveMetrics exposes m in Prometheus text format on addr/metrics until ctx
+// is canceled.
+func serveMetrics(ctx context.Context, addr string, m *trace.Metrics, stdout, stderr io.Writer) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.WriteProm(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchtables: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "metrics: serving on http://%s/metrics (interrupt to exit)\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Shutdown(context.Background())
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "benchtables: %v\n", err)
+		return 1
 	}
 	return 0
 }

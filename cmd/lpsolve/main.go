@@ -20,9 +20,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,14 +41,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		engineName = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | pdip | pdip-reduced | simplex")
-		varPct     = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
-		seed       = fs.Int64("seed", 1, "random seed for variation draws")
-		nocTopo    = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
-		tile       = fs.Int("tile", 512, "NoC tile (crossbar) size")
-		parallel   = fs.Int("parallel", 0, "fabric-pool width for multi-file batches (0 = one shard per CPU; crossbar engine only)")
-		verbose    = fs.Bool("v", false, "print the solution vector")
-		format     = fs.String("format", "", "input format: text (default) | mps; .mps files are auto-detected")
+		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | pdip | pdip-reduced | simplex")
+		varPct      = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
+		seed        = fs.Int64("seed", 1, "random seed for variation draws")
+		nocTopo     = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
+		tile        = fs.Int("tile", 512, "NoC tile (crossbar) size")
+		parallel    = fs.Int("parallel", 0, "fabric-pool width for multi-file batches (0 = one shard per CPU; crossbar engine only)")
+		verbose     = fs.Bool("v", false, "print the solution vector")
+		format      = fs.String("format", "", "input format: text (default) | mps; .mps files are auto-detected")
+		traceFile   = fs.String("trace", "", "write per-iteration trace records as JSON Lines to FILE (- = stdout)")
+		metricsAddr = fs.String("metrics-addr", "", "after solving, serve Prometheus metrics on ADDR (e.g. :9090) until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +91,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *traceFile != "" {
+		traceW := io.Writer(stdout)
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			traceW = f
+		}
+		opts = append(opts, memlp.WithTraceJSONL(traceW))
+	}
+	var metrics *memlp.Metrics
+	if *metricsAddr != "" {
+		metrics = memlp.NewMetrics()
+		opts = append(opts, memlp.WithTrace(0))
+	}
+
 	solver, err := memlp.NewSolver(engine, opts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
@@ -95,7 +119,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defer stop()
 
 	if len(problems) > 1 {
-		return runBatch(ctx, solver, engine, problems, *verbose, stdout, stderr)
+		code := runBatch(ctx, solver, engine, problems, *verbose, metrics, stdout, stderr)
+		return finishObservability(ctx, code, solver, metrics, *metricsAddr, stdout, stderr)
 	}
 
 	p := problems[0]
@@ -103,6 +128,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
 		return 1
+	}
+	if metrics != nil {
+		metrics.Observe(sol)
 	}
 
 	fmt.Fprintf(stdout, "problem:    %s (%d constraints, %d variables)\n",
@@ -123,6 +151,51 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if *verbose && sol.X != nil {
 		printVector(stdout, sol.X)
+	}
+	return finishObservability(ctx, 0, solver, metrics, *metricsAddr, stdout, stderr)
+}
+
+// finishObservability reports latched trace-stream errors and, when
+// -metrics-addr is set, serves the aggregated metrics until interrupted.
+func finishObservability(ctx context.Context, code int, solver *memlp.Solver, metrics *memlp.Metrics, addr string, stdout, stderr io.Writer) int {
+	if err := solver.TraceErr(); err != nil {
+		fmt.Fprintf(stderr, "lpsolve: trace stream: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if metrics == nil || code != 0 {
+		return code
+	}
+	return serveMetrics(ctx, addr, metrics, stdout, stderr)
+}
+
+// serveMetrics exposes m in Prometheus text format on addr/metrics (and a
+// compact JSON summary on addr/vars) until ctx is canceled.
+func serveMetrics(ctx context.Context, addr string, m *memlp.Metrics, stdout, stderr io.Writer) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, m.String())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "metrics:    serving on http://%s/metrics (interrupt to exit)\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Shutdown(context.Background())
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "lpsolve: %v\n", err)
+		return 1
 	}
 	return 0
 }
@@ -166,13 +239,16 @@ func readProblems(paths []string, format string, stdin io.Reader, stderr io.Writ
 // runBatch solves a multi-file batch on the crossbar engine's fabric pool
 // and prints one line per problem plus the pool roll-up. On interruption the
 // completed prefix is still printed.
-func runBatch(ctx context.Context, solver *memlp.Solver, engine memlp.Engine, problems []*memlp.Problem, verbose bool, stdout, stderr io.Writer) int {
+func runBatch(ctx context.Context, solver *memlp.Solver, engine memlp.Engine, problems []*memlp.Problem, verbose bool, metrics *memlp.Metrics, stdout, stderr io.Writer) int {
 	first := problems[0]
 	fmt.Fprintf(stdout, "batch:      %d problems (%d constraints, %d variables each)\n",
 		len(problems), first.NumConstraints(), first.NumVariables())
 	fmt.Fprintf(stdout, "engine:     %s\n", engine)
 
 	sols, err := solver.SolveBatch(ctx, problems)
+	if metrics != nil {
+		metrics.ObserveAll(sols)
+	}
 	for i, sol := range sols {
 		fmt.Fprintf(stdout, "[%3d] %-20s %-12s objective %-14.6g %d iters\n",
 			i, problems[i].Name(), sol.Status, sol.Objective, sol.Iterations)

@@ -30,11 +30,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -44,6 +47,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/memristor"
+	"github.com/memlp/memlp/internal/trace"
 	"github.com/memlp/memlp/internal/variation"
 )
 
@@ -78,16 +82,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xbarsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		size      = fs.Int("size", 64, "matrix dimension")
-		varPct    = fs.Float64("variation", 0, "process variation magnitude (e.g. 0.1)")
-		ioBits    = fs.Int("iobits", 8, "DAC/ADC precision")
-		writeBits = fs.Int("writebits", 14, "conductance write precision")
-		wire      = fs.Float64("wire", 0, "wire resistance per segment (Ω)")
-		faults    = fs.Float64("faults", 0, "stuck-cell density (split evenly stuck-ON/OFF, e.g. 0.01)")
-		retries   = fs.Int("writeretries", 0, "write-verify corrective pulses per cell (0 = open-loop)")
-		trials    = fs.Int("trials", 20, "number of random trials")
-		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU); results are width-independent")
-		seed      = fs.Int64("seed", 1, "random seed")
+		size        = fs.Int("size", 64, "matrix dimension")
+		varPct      = fs.Float64("variation", 0, "process variation magnitude (e.g. 0.1)")
+		ioBits      = fs.Int("iobits", 8, "DAC/ADC precision")
+		writeBits   = fs.Int("writebits", 14, "conductance write precision")
+		wire        = fs.Float64("wire", 0, "wire resistance per segment (Ω)")
+		faults      = fs.Float64("faults", 0, "stuck-cell density (split evenly stuck-ON/OFF, e.g. 0.01)")
+		retries     = fs.Int("writeretries", 0, "write-verify corrective pulses per cell (0 = open-loop)")
+		trials      = fs.Int("trials", 20, "number of random trials")
+		parallel    = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU); results are width-independent")
+		seed        = fs.Int64("seed", 1, "random seed")
+		traceFile   = fs.String("trace", "", "write one trace record per trial as JSON Lines to FILE (- = stdout)")
+		metricsAddr = fs.String("metrics-addr", "", "after the trials, serve Prometheus metrics on ADDR until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +114,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "xbarsim: %v\n", err)
 			return 2
 		}
+	}
+
+	// Trace records are replayed from the results slice after the workers
+	// finish, so the stream is in trial order for every -parallel width.
+	var sinks trace.Multi
+	var jsonl *trace.JSONL
+	if *traceFile != "" {
+		traceW := io.Writer(stdout)
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			traceW = f
+		}
+		jsonl = trace.NewJSONL(traceW)
+		sinks = append(sinks, jsonl)
+	}
+	var metrics *trace.Metrics
+	if *metricsAddr != "" {
+		metrics = trace.NewMetrics()
+		sinks = append(sinks, metrics)
 	}
 
 	// SIGINT stops dispatching further trials; statistics over the completed
@@ -153,10 +183,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var mvErrs, solveErrs []float64
 	var stuckOn, stuckOff, solveFailures int
 	var retriesUsed int64
-	for _, r := range results[:dispatched] {
+	for trial, r := range results[:dispatched] {
 		if r.err != nil {
 			fmt.Fprintf(stderr, "xbarsim: %v\n", r.err)
 			return 1
+		}
+		if len(sinks) > 0 {
+			status := "ok"
+			if r.solveFailed {
+				status = "solve-failed"
+			}
+			sinks.Emit(trace.Record{
+				Engine:              "xbarsim",
+				Event:               trace.EventTrial,
+				Status:              status,
+				Problem:             trial,
+				Attempt:             1,
+				PrimalInfeasibility: r.mvErr,
+				DualInfeasibility:   r.solveErr,
+				WriteRetries:        r.retriesUsed,
+				NoiseEpoch:          *seed + int64(trial),
+			})
 		}
 		mvErrs = append(mvErrs, r.mvErr)
 		stuckOn += r.stuckOn
@@ -188,6 +235,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	report(stdout, "mat-vec relative error", mvErrs)
 	report(stdout, "solve   relative error", solveErrs)
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintf(stderr, "xbarsim: trace stream: %v\n", err)
+			return 1
+		}
+	}
+	if metrics != nil {
+		return serveMetrics(ctx, *metricsAddr, metrics, stdout, stderr)
+	}
+	return 0
+}
+
+// serveMetrics exposes m in Prometheus text format on addr/metrics until ctx
+// is canceled.
+func serveMetrics(ctx context.Context, addr string, m *trace.Metrics, stdout, stderr io.Writer) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.WriteProm(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "metrics: serving on http://%s/metrics (interrupt to exit)\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Shutdown(context.Background())
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "xbarsim: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

@@ -10,7 +10,9 @@ package analysis
 //   - rawwrite protecting internal/crossbar's realized-conductance matrix
 //     (gt) and program-and-verify cache (progTarget);
 //   - nanguard on the public memlp package;
-//   - hotpath wherever //memlp:hotpath annotations appear.
+//   - hotpath wherever //memlp:hotpath annotations appear;
+//   - tracesink keeping raw file/JSON/HTTP I/O out of the solver engines —
+//     telemetry leaves them only through trace sinks.
 func Default() []*Analyzer {
 	return []*Analyzer{
 		Floatcmp(FloatcmpConfig{
@@ -29,5 +31,8 @@ func Default() []*Analyzer {
 			Pkgs: []string{"github.com/memlp/memlp"},
 		}),
 		Hotpath(),
+		Tracesink(TracesinkConfig{
+			Pkgs: []string{"internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+		}),
 	}
 }

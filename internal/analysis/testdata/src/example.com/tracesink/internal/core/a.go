@@ -1,0 +1,16 @@
+package core
+
+import (
+	"encoding/json" // want `engine package imports "encoding/json"`
+	"fmt"
+	"os" // want `engine package imports "os"`
+	"strings"
+)
+
+func dump(v any) string {
+	b, _ := json.Marshal(v)
+	f, _ := os.Create("trace.out")
+	defer f.Close()
+	fmt.Fprintln(f, string(b))
+	return strings.ToUpper(string(b))
+}

@@ -1,0 +1,16 @@
+// Package trace is the sink layer: it owns serialization, so the forbidden
+// imports are legitimate here and the analyzer must stay silent.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+)
+
+func encode(v any) string {
+	b, _ := json.Marshal(v)
+	w := bufio.NewWriter(&strings.Builder{})
+	_, _ = w.Write(b)
+	return string(b)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// TracesinkConfig parameterizes the tracesink analyzer.
+type TracesinkConfig struct {
+	// Pkgs are the solver-engine packages (pkgMatch patterns) that must emit
+	// telemetry through trace sinks instead of doing I/O themselves.
+	Pkgs []string
+	// Forbidden are the import paths the engine packages may not use. Empty
+	// means DefaultForbiddenImports.
+	Forbidden []string
+}
+
+// DefaultForbiddenImports is the I/O and encoding surface the engine
+// packages must not reach for: serialization and transport belong to the
+// sink implementations in internal/trace and to the CLIs.
+var DefaultForbiddenImports = []string{
+	"os", "bufio", "net/http", "encoding/json", "io/ioutil",
+}
+
+// Tracesink returns the analyzer enforcing the observability boundary of
+// DESIGN.md D13: solver-engine packages record telemetry by emitting records
+// into a trace.Sink, never by writing files, encoding JSON, or serving HTTP
+// themselves. Keeping raw I/O out of the engines is what makes the hot-path
+// zero-allocation guarantee auditable (a ring-buffer Emit cannot block on a
+// file) and keeps the golden-trace serialization format in one place.
+func Tracesink(cfg TracesinkConfig) *Analyzer {
+	forbidden := cfg.Forbidden
+	if len(forbidden) == 0 {
+		forbidden = DefaultForbiddenImports
+	}
+	a := &Analyzer{
+		Name: "tracesink",
+		Doc:  "solver-engine packages must emit telemetry via trace sinks, not direct file/JSON/HTTP I/O",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		bad := make(map[string]bool, len(forbidden))
+		for _, p := range forbidden {
+			bad[p] = true
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if bad[path] {
+					pass.Reportf(imp.Pos(),
+						"engine package imports %q: telemetry must flow through a trace.Sink, not direct I/O",
+						path)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestTracesink(t *testing.T) {
+	a := analysis.Tracesink(analysis.TracesinkConfig{
+		Pkgs: []string{"internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/tracesink/internal/core")
+}
+
+func TestTracesinkLeavesSinkPackagesAlone(t *testing.T) {
+	// The sink layer owns serialization; the same forbidden imports must not
+	// be flagged outside the configured engine packages.
+	a := analysis.Tracesink(analysis.TracesinkConfig{
+		Pkgs: []string{"internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+	})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/tracesink/internal/trace")
+}
+
+func TestTracesinkCustomForbiddenList(t *testing.T) {
+	// With a custom list that omits os/encoding-json, the default findings
+	// disappear — the list is configuration, not hard-coded.
+	a := analysis.Tracesink(analysis.TracesinkConfig{
+		Pkgs:      []string{"internal/core"},
+		Forbidden: []string{"net/http"},
+	})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/tracesink/internal/core")
+}

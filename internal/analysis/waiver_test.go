@@ -82,8 +82,8 @@ func TestPkgMatch(t *testing.T) {
 
 func TestDefaultSuite(t *testing.T) {
 	suite := Default()
-	if len(suite) != 5 {
-		t.Fatalf("Default() has %d analyzers, want 5", len(suite))
+	if len(suite) != 6 {
+		t.Fatalf("Default() has %d analyzers, want 6", len(suite))
 	}
 	names := map[string]bool{}
 	for _, a := range suite {
@@ -95,7 +95,7 @@ func TestDefaultSuite(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"floatcmp", "ctxloop", "rawwrite", "nanguard", "hotpath"} {
+	for _, want := range []string{"floatcmp", "ctxloop", "rawwrite", "nanguard", "hotpath", "tracesink"} {
 		if !names[want] {
 			t.Errorf("Default() missing analyzer %q", want)
 		}

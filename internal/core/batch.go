@@ -10,6 +10,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // SolveBatch solves a sequence of problems that share one constraint matrix
@@ -65,6 +66,9 @@ type batchWorker struct {
 	progCost crossbar.Counters
 	solves   int
 	busy     time.Duration
+	// tr is this shard's private trace recorder (one ring per worker, so
+	// concurrent shards never share trace state); nil when tracing is off.
+	tr *traceState
 }
 
 // batchSlot collects one problem's outcome; slots are indexed by problem, so
@@ -301,6 +305,7 @@ func (s *Solver) newBatchWorker(shard int, first *lp.Problem, aShared *linalg.Ma
 		ext:      ext,
 		best:     snapshot{score: infNaN()},
 		progCost: fab.Counters(),
+		tr:       newTraceState(s.opts),
 	}, nil
 }
 
@@ -324,7 +329,11 @@ func (s *Solver) runBatchProblem(ctx context.Context, bw *batchWorker, idx int, 
 	}
 	scaled := &lp.Problem{Name: p.Name, C: p.C, A: aShared, B: bw.bBuf}
 
+	// The trace is keyed by problem index (and so is the noise epoch, per
+	// the determinism contract): its contents cannot depend on the shard.
+	bw.tr.begin(idx, int64(idx))
 	before := bw.fab.Counters()
+	bw.tr.beginAttempt(before)
 	res, ctxErr, err := s.solveOnShard(ctx, bw, scaled, p, scales)
 	if err != nil {
 		slot.err = err
@@ -332,6 +341,22 @@ func (s *Solver) runBatchProblem(ctx context.Context, bw *batchWorker, idx int, 
 	}
 	res.WallTime = time.Since(start)
 	res.Counters = bw.fab.Counters().Sub(before)
+	res.Trace = bw.tr.finish(res)
+	if s.opts.Recovery != nil {
+		// The ladder itself does not run on the batch path (a pooled shard
+		// cannot rebuild or remap mid-batch), but callers that configured
+		// recovery still get the same per-solve telemetry the serial path
+		// attaches: fault census, retry and energy totals.
+		diag := &Diagnostics{Attempts: 1, WriteRetries: res.Counters.WriteRetries}
+		if fr, ok := bw.fab.(FaultReporter); ok {
+			c := fr.FaultCensus()
+			diag.StuckOn, diag.StuckOff = c.StuckOn, c.StuckOff
+		}
+		if s.opts.EnergyModel != nil {
+			diag.EnergyJoules = s.opts.EnergyModel(res.Counters)
+		}
+		res.Diagnostics = diag
+	}
 	slot.res, slot.ctxErr = res, ctxErr
 	bw.busy += res.WallTime
 	if ctxErr == nil {
@@ -450,6 +475,18 @@ func (s *Solver) solveOnShard(ctx context.Context, bw *batchWorker, scaled, orig
 		theta := stepLength(tol.StepScale, [][2]linalg.Vector{
 			{x, dx}, {y, dy}, {w, dw}, {z, dz},
 		})
+		if bw.tr.active() {
+			bw.tr.note(fab.Counters())
+			bw.tr.emit(trace.Record{
+				Event:               trace.EventIteration,
+				Iteration:           iter,
+				Mu:                  mu,
+				DualityGap:          gap,
+				PrimalInfeasibility: res.PrimalInfeasibility,
+				DualInfeasibility:   res.DualInfeasibility,
+				Theta:               theta,
+			})
+		}
 		if err := sExt.AxpyInPlace(theta, ds); err != nil {
 			return nil, nil, err
 		}

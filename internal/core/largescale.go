@@ -10,6 +10,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // LargeScaleSolver is Algorithm 2: the memristor crossbar-based linear
@@ -59,6 +60,8 @@ type LargeScaleSolver struct {
 	fab2     Fabric
 	fab2Size int
 	diagRow  linalg.Vector
+	// tr records the iteration trace under mu; nil when tracing is off.
+	tr *traceState
 }
 
 // NewLargeScaleSolver returns an Algorithm 2 solver.
@@ -67,7 +70,7 @@ func NewLargeScaleSolver(opts Options) (*LargeScaleSolver, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &LargeScaleSolver{opts: opts}, nil
+	return &LargeScaleSolver{opts: opts, tr: newTraceState(opts)}, nil
 }
 
 // Solve runs Algorithm 2 on p, retrying up to MaxResolves times when a solve
@@ -87,6 +90,7 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tr.begin(0, 0)
 	if s.opts.Recovery != nil {
 		// The recovery ladder subsumes the double-check loop below as its
 		// rung 1 (same MaxResolves budget) and adds remap + software rungs.
@@ -98,9 +102,11 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 			remap:  s.remapFabrics,
 			// No resetFresh: remap offsets must survive between attempts,
 			// and solveOnce re-Programs (= fresh variation draws) anyway.
+			event: s.tr.event,
 		})
 		if res != nil {
 			res.WallTime = time.Since(start)
+			res.Trace = s.tr.finish(res)
 		}
 		return res, err
 	}
@@ -116,19 +122,27 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 		res.Counters = counters
 		res.WallTime = time.Since(start)
 		if ctxErr != nil {
+			res.Trace = s.tr.finish(res)
 			return res, ctxErr
 		}
 		switch res.Status {
 		case lp.StatusOptimal, lp.StatusInfeasible, lp.StatusUnbounded:
+			res.Trace = s.tr.finish(res)
 			return res, nil
 		}
 		last = res
+		if attempt < s.opts.MaxResolves {
+			// The next loop turn is a double-check re-solve; mark it in the
+			// trace with the status that forced it.
+			s.tr.event(trace.EventResolve, res.Status.String())
+		}
 		// Double-checking (§4.3): a failed attempt retries on freshly built
 		// fabrics, so a fault in the array itself cannot persist across
 		// attempts. Successful solves keep reusing the cached fabrics.
 		s.fab1, s.fab2 = nil, nil
 		s.fab1Size, s.fab2Size = 0, 0
 	}
+	last.Trace = s.tr.finish(last)
 	return last, nil
 }
 
@@ -405,6 +419,9 @@ func (s *LargeScaleSolver) solveOnce(ctx context.Context, p *lp.Problem) (*Resul
 	}
 	fab2 := s.fab2
 	countersBase2 := fab2.Counters()
+	// Rebase the trace accumulators on the combined counters of BOTH
+	// fabrics (fresh double-check fabrics restart at zero).
+	s.tr.beginAttempt(countersBase1.Add(countersBase2))
 	if s.m2 == nil || s.m2.Rows() != n+m {
 		s.m2 = linalg.NewMatrix(n+m, n+m)
 	} else {
@@ -550,6 +567,18 @@ func (s *LargeScaleSolver) solveOnce(ctx context.Context, p *lp.Problem) (*Resul
 		// This bounds the damage of an ill-conditioned analog solve.
 		if lim := slewLimit(s1, ds1); lim < theta1 {
 			theta1 = lim
+		}
+		if s.tr.active() {
+			s.tr.note(fab1.Counters().Add(fab2.Counters()))
+			s.tr.emit(trace.Record{
+				Event:               trace.EventIteration,
+				Iteration:           iter,
+				Mu:                  mu,
+				DualityGap:          gap,
+				PrimalInfeasibility: pinf,
+				DualInfeasibility:   dinf,
+				Theta:               theta1,
+			})
 		}
 		if err := s1.AxpyInPlace(theta1, ds1); err != nil {
 			return nil, nil, err

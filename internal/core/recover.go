@@ -8,6 +8,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/pdip"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // RecoveryPolicy configures the escalation ladder that generalizes the
@@ -57,6 +58,11 @@ type Diagnostics struct {
 	// RecoveredBy names the rung that produced the returned result:
 	// "" (first attempt), "resolve", "remap", or "software".
 	RecoveredBy string
+	// EnergyJoules is the modeled energy spent across all attempts of this
+	// solve (zero unless Options.EnergyModel is configured). It is
+	// populated on successful first-try solves too, not only on recovered
+	// or degraded ones.
+	EnergyJoules float64
 }
 
 // FaultReporter is implemented by fabrics that can census their mapped
@@ -93,6 +99,9 @@ type ladderFuncs struct {
 	// resetFresh drops cached fabrics so the next attempt rebuilds them
 	// (Algorithm 2's fresh-fabric double-check semantics); may be nil.
 	resetFresh func()
+	// event records a ladder escalation in the iteration trace; nil-safe
+	// (a traceState method value with a nil receiver is inert).
+	event func(ev, status string)
 }
 
 // analogAnswerConsistent is the digital half of the double-check scheme,
@@ -171,9 +180,25 @@ func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladde
 	finish := func(res *Result, rung string) *Result {
 		diag.RecoveredBy = rung
 		diag.WriteRetries = counters.WriteRetries
+		if opts.EnergyModel != nil {
+			diag.EnergyJoules = opts.EnergyModel(counters)
+		}
 		res.Diagnostics = diag
 		res.Resolves = diag.Attempts - 1
 		return res
+	}
+
+	// emitEvent records an escalation in the iteration trace, labeled with
+	// the status of the attempt that forced it.
+	emitEvent := func(ev string, prev *Result) {
+		if f.event == nil {
+			return
+		}
+		status := ""
+		if prev != nil {
+			status = prev.Status.String()
+		}
+		f.event(ev, status)
 	}
 
 	attemptOnce := func() (*Result, error, error) {
@@ -219,6 +244,9 @@ func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladde
 		if last != nil && ctx.Err() != nil {
 			return finish(last, ""), ctx.Err()
 		}
+		if attempt > 0 {
+			emitEvent(trace.EventResolve, last)
+		}
 		res, ctxErr, err := attemptOnce()
 		if err != nil {
 			return nil, err
@@ -243,6 +271,7 @@ func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladde
 	// Rung 2: remap away from the stuck cells and try once more.
 	if rec.Remap && f.remap != nil && f.remap() {
 		diag.Remapped = true
+		emitEvent(trace.EventRemap, last)
 		res, ctxErr, err := attemptOnce()
 		if err != nil {
 			return nil, err
@@ -262,6 +291,7 @@ func runRecoveryLadder(ctx context.Context, p *lp.Problem, opts Options, f ladde
 	// optimum is honest about its provenance via StatusDegraded.
 	if rec.SoftwareFallback {
 		diag.SoftwareFallback = true
+		emitEvent(trace.EventSoftware, last)
 		res, err := softwareSolve(ctx, p)
 		if err != nil {
 			if res == nil {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // TestSolverReusesFabric pins the handle-reuse guarantee: a hundred
@@ -60,11 +61,11 @@ func TestSolveContextCancelMidIteration(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	o := idealOpts()
-	o.Trace = func(e TraceEntry) {
-		if e.Iteration >= 1 {
+	o.Trace = &TraceOptions{OnRecord: func(r trace.Record) {
+		if r.Event == trace.EventIteration && r.Iteration >= 1 {
 			cancel()
 		}
-	}
+	}}
 	s, err := NewSolver(o)
 	if err != nil {
 		t.Fatalf("NewSolver: %v", err)

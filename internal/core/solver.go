@@ -10,6 +10,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // ErrNoFabric is returned when a solver is constructed without a fabric
@@ -71,18 +72,26 @@ type Options struct {
 	// independent, identically-behaving fabrics (the variation-free default
 	// does; a factory capturing one shared variation model does not).
 	ReplicaFabric FabricFactory
-	// Trace, when non-nil, receives per-iteration telemetry.
-	Trace func(t TraceEntry)
+	// Trace, when non-nil, enables per-iteration telemetry: every attempt
+	// emits one trace.Record per iteration plus recovery events and a
+	// terminal done record into a bounded ring, returned as Result.Trace.
+	Trace *TraceOptions
+	// EnergyModel converts fabric counters into modeled energy (joules).
+	// It prices the trace's cumulative energy field and
+	// Diagnostics.EnergyJoules; nil leaves both zero.
+	EnergyModel func(crossbar.Counters) float64
 }
 
-// TraceEntry is the per-iteration telemetry passed to Options.Trace.
-type TraceEntry struct {
-	Iteration           int
-	PrimalInfeasibility float64
-	DualInfeasibility   float64
-	DualityGap          float64
-	Mu                  float64
-	Theta               float64
+// TraceOptions configures the iteration-trace recorder (see internal/trace).
+type TraceOptions struct {
+	// Capacity bounds the per-solve ring buffer; <= 0 means
+	// trace.DefaultCapacity. When a trajectory outgrows it, the oldest
+	// records are dropped (the tail is what debugging needs).
+	Capacity int
+	// OnRecord, when non-nil, additionally receives every record as it is
+	// emitted (before the solve finishes). Batch solves call it from the
+	// pool's worker goroutines, so it must be safe for concurrent use.
+	OnRecord func(trace.Record)
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +171,9 @@ type Result struct {
 	// attached to the FIRST result of a SolveBatch call only (the same place
 	// the one-time programming cost is charged), nil everywhere else.
 	Batch *BatchStats
+	// Trace is the recorded iteration trajectory (oldest first); non-nil
+	// only when Options.Trace is configured.
+	Trace []trace.Record
 }
 
 // Solver is Algorithm 1: the memristor crossbar-based linear program solver.
@@ -179,6 +191,8 @@ type Solver struct {
 	// from it before being copied into the extended state vector), reused
 	// across solves under mu.
 	initBuf linalg.Vector
+	// tr records the iteration trace under mu; nil when tracing is off.
+	tr *traceState
 }
 
 // NewSolver returns an Algorithm 1 solver.
@@ -187,7 +201,7 @@ func NewSolver(opts Options) (*Solver, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Solver{opts: opts}, nil
+	return &Solver{opts: opts, tr: newTraceState(opts)}, nil
 }
 
 // fabric returns the cached analog substrate for the given extended-system
@@ -222,12 +236,14 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tr.begin(0, 0)
 	if s.opts.Recovery == nil {
 		res, ctxErr, err := s.solveAttempt(ctx, p)
 		if err != nil {
 			return nil, err
 		}
 		res.WallTime = time.Since(start)
+		res.Trace = s.tr.finish(res)
 		return res, ctxErr
 	}
 	res, err := runRecoveryLadder(ctx, p, s.opts, ladderFuncs{
@@ -236,9 +252,11 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		},
 		census: s.census,
 		remap:  s.remapFabric,
+		event:  s.tr.event,
 	})
 	if res != nil {
 		res.WallTime = time.Since(start)
+		res.Trace = s.tr.finish(res)
 	}
 	return res, err
 }
@@ -285,6 +303,7 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 		return nil, nil, err
 	}
 	countersBase := fab.Counters()
+	s.tr.beginAttempt(countersBase)
 	if err := fab.Program(ext.matrix); err != nil {
 		return nil, nil, fmt.Errorf("core: programming fabric: %w", err)
 	}
@@ -394,13 +413,15 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 		theta := stepLength(tol.StepScale, [][2]linalg.Vector{
 			{x, dx}, {y, dy}, {w, dw}, {z, dz},
 		})
-		if s.opts.Trace != nil {
-			s.opts.Trace(TraceEntry{
+		if s.tr.active() {
+			s.tr.note(fab.Counters())
+			s.tr.emit(trace.Record{
+				Event:               trace.EventIteration,
 				Iteration:           iter,
+				Mu:                  mu,
+				DualityGap:          gap,
 				PrimalInfeasibility: res.PrimalInfeasibility,
 				DualInfeasibility:   res.DualInfeasibility,
-				DualityGap:          gap,
-				Mu:                  mu,
 				Theta:               theta,
 			})
 		}

@@ -1,0 +1,158 @@
+package core
+
+// Tests for the solver-side trace recorder: the zero-allocation contract of
+// the hot-path recording helpers, and the cancel-mid-recovery-ladder
+// regression (a canceled ladder must still return its partial result with
+// diagnostics and the trace recorded so far).
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
+)
+
+// TestTraceRecordingAllocations pins the //memlp:hotpath contract for the
+// recording helpers at runtime: with the ring sink and an energy model
+// attached, note+emit — the full per-iteration tracing work — must not
+// allocate. This is what makes WithTrace safe to leave on in production.
+func TestTraceRecordingAllocations(t *testing.T) {
+	ts := newTraceState(Options{
+		Trace: &TraceOptions{Capacity: 64},
+		EnergyModel: func(c crossbar.Counters) float64 {
+			return 1e-12 * float64(c.MatVecOps+c.SolveOps)
+		},
+	})
+	ts.begin(0, 0)
+	ts.beginAttempt(crossbar.Counters{})
+	cur := crossbar.Counters{MatVecOps: 3, SolveOps: 1, WriteRetries: 2}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if ts.active() {
+			ts.note(cur)
+			ts.emit(trace.Record{
+				Event:               trace.EventIteration,
+				Iteration:           7,
+				Mu:                  0.05,
+				DualityGap:          0.2,
+				PrimalInfeasibility: 0.1,
+				DualInfeasibility:   0.3,
+				Theta:               0.34,
+			})
+		}
+	}); allocs > 0 {
+		t.Errorf("ring-sink trace recording allocates %.0f per iteration, want 0", allocs)
+	}
+}
+
+// TestTraceRecordingInertWhenDisabled: a nil traceState (tracing off) must
+// also stay allocation-free and not panic — untraced solves share the same
+// call sites.
+func TestTraceRecordingInertWhenDisabled(t *testing.T) {
+	ts := newTraceState(Options{})
+	if ts != nil {
+		t.Fatal("newTraceState without Trace options should be nil")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if ts.active() {
+			t.Error("nil traceState reports active")
+		}
+	}); allocs > 0 {
+		t.Errorf("disabled tracing allocates %.0f per iteration, want 0", allocs)
+	}
+}
+
+// TestLadderCancelMidRecovery is the regression for cancellation landing
+// between recovery-ladder rungs: the caller must get the wrapped context
+// error together with the partial Result — still carrying Diagnostics for
+// the attempts that did run and the trace recorded so far, including the
+// escalation event that was in flight.
+func TestLadderCancelMidRecovery(t *testing.T) {
+	p := testProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opts := faultyCrossbarOptions(0.2, &RecoveryPolicy{Remap: true, SoftwareFallback: true})
+	opts.MaxResolves = 2
+	opts.Trace = &TraceOptions{OnRecord: func(rec trace.Record) {
+		// Cancel the moment the ladder announces its first escalation, so
+		// the next attempt starts on a dead context.
+		if rec.Event == trace.EventResolve || rec.Event == trace.EventRemap {
+			cancel()
+		}
+	}}
+
+	s, err := NewLargeScaleSolver(opts)
+	if err != nil {
+		t.Fatalf("NewLargeScaleSolver: %v", err)
+	}
+	res, err := s.SolveContext(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled ladder returned no partial result")
+	}
+	if res.Status != lp.StatusCanceled {
+		t.Errorf("partial status = %v, want %v", res.Status, lp.StatusCanceled)
+	}
+	d := res.Diagnostics
+	if d == nil {
+		t.Fatal("canceled ladder dropped Diagnostics")
+	}
+	if d.Attempts < 1 {
+		t.Errorf("Attempts = %d, want ≥ 1", d.Attempts)
+	}
+	escalations := 0
+	for _, rec := range res.Trace {
+		if rec.Event == trace.EventResolve || rec.Event == trace.EventRemap {
+			escalations++
+		}
+	}
+	if escalations == 0 {
+		t.Error("trace lost the in-flight escalation event")
+	}
+	if len(res.Trace) == 0 || res.Trace[len(res.Trace)-1].Event != trace.EventDone {
+		t.Error("canceled trace does not end with a done record")
+	}
+}
+
+// TestDiagnosticsEnergyOnCleanSolve pins the satellite fix: a clean
+// first-try solve with recovery configured must come back with Diagnostics
+// attached and the modeled energy populated — not just recovered solves.
+func TestDiagnosticsEnergyOnCleanSolve(t *testing.T) {
+	p := testProblem(t)
+	opts := Options{
+		Fabric:   SingleCrossbarFactory(crossbar.Config{}),
+		Recovery: &RecoveryPolicy{},
+		EnergyModel: func(c crossbar.Counters) float64 {
+			return 1e-12 * float64(c.MatVecOps+c.SolveOps+c.CellWrites)
+		},
+	}
+	s, err := NewSolver(opts)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v, want optimal on a clean fabric", res.Status)
+	}
+	d := res.Diagnostics
+	if d == nil {
+		t.Fatal("clean solve with recovery configured has no Diagnostics")
+	}
+	if d.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 on a first-try solve", d.Attempts)
+	}
+	if d.RecoveredBy != "" {
+		t.Errorf("RecoveredBy = %q, want empty on a first-try solve", d.RecoveredBy)
+	}
+	if d.EnergyJoules <= 0 {
+		t.Errorf("EnergyJoules = %v, want > 0 on a successful solve", d.EnergyJoules)
+	}
+}

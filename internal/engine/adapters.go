@@ -8,7 +8,17 @@ import (
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/simplex"
+	"github.com/memlp/memlp/internal/trace"
 )
+
+// stampEngine labels every trace record with the backend name. The slice is a
+// fresh ring snapshot owned by the result, so in-place mutation is safe.
+func stampEngine(recs []trace.Record, name string) []trace.Record {
+	for i := range recs {
+		recs[i].Engine = name
+	}
+	return recs
+}
 
 // Crossbar adapts core.Solver (Algorithm 1) to the Backend contract. It also
 // implements BatchBackend: the shared extended system is programmed once and
@@ -24,7 +34,7 @@ func (b Crossbar) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 	if res == nil {
 		return nil, err
 	}
-	return fromCore(res), err
+	return fromCore(res, b.Name()), err
 }
 
 // SolveBatch implements BatchBackend. On cancellation the partial results
@@ -36,7 +46,7 @@ func (b Crossbar) SolveBatch(ctx context.Context, problems []*lp.Problem) ([]*Re
 	}
 	out := make([]*Result, len(results))
 	for i, res := range results {
-		out[i] = fromCore(res)
+		out[i] = fromCore(res, b.Name())
 	}
 	return out, err
 }
@@ -53,10 +63,10 @@ func (b CrossbarLargeScale) Solve(ctx context.Context, p *lp.Problem) (*Result, 
 	if res == nil {
 		return nil, err
 	}
-	return fromCore(res), err
+	return fromCore(res, b.Name()), err
 }
 
-func fromCore(res *core.Result) *Result {
+func fromCore(res *core.Result, name string) *Result {
 	return &Result{
 		Status:              res.Status,
 		X:                   res.X,
@@ -73,6 +83,7 @@ func fromCore(res *core.Result) *Result {
 		Resolves:            res.Resolves,
 		Diagnostics:         res.Diagnostics,
 		Batch:               res.Batch,
+		Trace:               stampEngine(res.Trace, name),
 	}
 }
 
@@ -103,6 +114,7 @@ func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		DualInfeasibility:   res.DualInfeasibility,
 		DualityGap:          res.DualityGap,
 		WallTime:            time.Since(start),
+		Trace:               stampEngine(res.Trace, b.Name()),
 	}, err
 }
 
@@ -125,5 +137,6 @@ func (b Simplex) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		Objective: res.Objective,
 		Pivots:    res.Pivots,
 		WallTime:  time.Since(start),
+		Trace:     stampEngine(res.Trace, b.Name()),
 	}, err
 }

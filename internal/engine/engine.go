@@ -14,6 +14,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // Result is the engine-neutral solve outcome. Analog-only fields (Counters,
@@ -48,6 +49,11 @@ type Result struct {
 	// combined programming cost, per-shard utilization). Non-nil only on the
 	// first result of a batch.
 	Batch *core.BatchStats
+
+	// Trace is the recorded iteration trajectory (oldest first), with each
+	// record's Engine field stamped with the backend name. Non-nil only when
+	// tracing was enabled on the underlying solver.
+	Trace []trace.Record
 }
 
 // Backend is one solver engine behind a memlp.Solver handle. Implementations

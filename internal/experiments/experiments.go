@@ -26,6 +26,7 @@ import (
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/perf"
 	"github.com/memlp/memlp/internal/simplex"
+	"github.com/memlp/memlp/internal/trace"
 	"github.com/memlp/memlp/internal/variation"
 )
 
@@ -68,6 +69,9 @@ type Config struct {
 	// Context cancels a sweep between trials (a size-1024 point can run for
 	// minutes). Nil means never canceled.
 	Context context.Context
+	// Trace, when non-nil, receives every crossbar solve's iteration records
+	// (Engine stamped with the algorithm name) as the sweep runs.
+	Trace trace.Sink
 }
 
 // ctxErr reports the sweep's cancellation state.
@@ -91,8 +95,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// solverFor builds the crossbar solver under test.
-func solverFor(alg Algorithm, varPct float64, seed int64) (func(*lp.Problem) (*core.Result, error), error) {
+// solverFor builds the crossbar solver under test, wiring the sweep's trace
+// sink (if any) into it.
+func (c Config) solverFor(alg Algorithm, varPct float64, seed int64) (func(*lp.Problem) (*core.Result, error), error) {
 	cfg := crossbar.Config{}
 	if varPct > 0 {
 		vm, err := variation.NewPaperModel(varPct, seed)
@@ -104,6 +109,17 @@ func solverFor(alg Algorithm, varPct float64, seed int64) (func(*lp.Problem) (*c
 	opts := core.Options{
 		Fabric: core.SingleCrossbarFactory(cfg),
 		Alpha:  1.05 + 2*varPct,
+	}
+	if c.Trace != nil {
+		sink := c.Trace
+		name := alg.String()
+		opts.Trace = &core.TraceOptions{OnRecord: func(rec trace.Record) {
+			rec.Engine = name
+			sink.Emit(rec)
+		}}
+		opts.EnergyModel = func(cnt crossbar.Counters) float64 {
+			return perf.CrossbarCost(cnt, memristor.DefaultTiming()).Energy
+		}
 	}
 	switch alg {
 	case Algorithm1:
@@ -173,7 +189,7 @@ func Accuracy(alg Algorithm, cfg Config) ([]AccuracyRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				solve, err := solverFor(alg, v, 1000+seed)
+				solve, err := cfg.solverFor(alg, v, 1000+seed)
 				if err != nil {
 					return nil, err
 				}
@@ -275,7 +291,7 @@ func LatencyEnergy(alg Algorithm, cfg Config, includeFullPDIP bool) ([]PerfRow, 
 				}
 				row.Simplex += time.Since(start)
 
-				solve, err := solverFor(alg, v, 1000+seed)
+				solve, err := cfg.solverFor(alg, v, 1000+seed)
 				if err != nil {
 					return nil, err
 				}
@@ -346,7 +362,7 @@ func InfeasibleDetection(alg Algorithm, cfg Config) ([]InfeasibleRow, error) {
 				row.Software += time.Since(start)
 				_ = sres
 
-				solve, err := solverFor(alg, v, 1000+seed)
+				solve, err := cfg.solverFor(alg, v, 1000+seed)
 				if err != nil {
 					return nil, err
 				}
@@ -468,7 +484,7 @@ func IterationCounts(cfg Config) ([]IterationRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				s1, err := solverFor(Algorithm1, v, 1000+seed)
+				s1, err := cfg.solverFor(Algorithm1, v, 1000+seed)
 				if err != nil {
 					return nil, err
 				}
@@ -477,7 +493,7 @@ func IterationCounts(cfg Config) ([]IterationRow, error) {
 					return nil, err
 				}
 				row.Algorithm1 += float64(r1.Iterations)
-				s2, err := solverFor(Algorithm2, v, 1000+seed)
+				s2, err := cfg.solverFor(Algorithm2, v, 1000+seed)
 				if err != nil {
 					return nil, err
 				}

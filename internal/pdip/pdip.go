@@ -27,6 +27,7 @@ import (
 
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // NewtonBackend selects how the per-iteration Newton system is solved.
@@ -61,6 +62,8 @@ type Solver struct {
 
 	mu sync.Mutex
 	ws workspace
+	// ring records the iteration trace under mu; nil when tracing is off.
+	ring *trace.Ring
 }
 
 // Result reports the outcome of a solve, including per-iteration telemetry
@@ -77,6 +80,9 @@ type Result struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// Trace is the recorded iteration trajectory (oldest first); non-nil
+	// only when the solver was built WithTrace.
+	Trace []trace.Record
 }
 
 // Option configures the solver.
@@ -90,6 +96,13 @@ func WithTolerances(t lp.Tolerances) Option {
 // WithBackend selects the Newton-system backend.
 func WithBackend(b NewtonBackend) Option {
 	return func(s *Solver) { s.backend = b }
+}
+
+// WithTrace enables per-iteration trace recording into a bounded ring of
+// the given capacity (<= 0 means trace.DefaultCapacity); the trajectory is
+// returned as Result.Trace.
+func WithTrace(capacity int) Option {
+	return func(s *Solver) { s.ring = trace.NewRing(capacity) }
 }
 
 // New returns a software PDIP solver.
@@ -123,6 +136,9 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ring != nil {
+		s.ring.Reset()
+	}
 	n, m := p.NumVariables(), p.NumConstraints()
 	s.ws.prepare(p, s.backend)
 	rho, sigma := s.ws.rho, s.ws.sigma
@@ -192,6 +208,18 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		theta := stepLength(s.tol.StepScale, [][2]linalg.Vector{
 			{x, dx}, {y, dy}, {w, dw}, {z, dz},
 		})
+		if s.ring != nil {
+			s.ring.Emit(trace.Record{
+				Event:               trace.EventIteration,
+				Attempt:             1,
+				Iteration:           iter,
+				Mu:                  mu,
+				DualityGap:          gap,
+				PrimalInfeasibility: res.PrimalInfeasibility,
+				DualInfeasibility:   res.DualInfeasibility,
+				Theta:               theta,
+			})
+		}
 		if err := x.AxpyInPlace(theta, dx); err != nil {
 			return nil, err
 		}
@@ -216,6 +244,19 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		return nil, err
 	}
 	res.Objective = obj
+	if s.ring != nil {
+		s.ring.Emit(trace.Record{
+			Event:               trace.EventDone,
+			Status:              res.Status.String(),
+			Attempt:             1,
+			Iteration:           res.Iterations,
+			DualityGap:          res.DualityGap,
+			PrimalInfeasibility: res.PrimalInfeasibility,
+			DualInfeasibility:   res.DualInfeasibility,
+			Objective:           res.Objective,
+		})
+		res.Trace = s.ring.Snapshot()
+	}
 	return res, ctxErr
 }
 

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/trace"
 )
 
 // ErrPivotLimit is returned when the pivot budget is exhausted (cycling or a
@@ -30,12 +32,22 @@ type Result struct {
 	Objective float64
 	// Pivots is the total number of pivot operations across both phases.
 	Pivots int
+	// Trace is the recorded pivot trajectory (oldest first); non-nil only
+	// when the solver was built WithTrace. Pivot records carry the running
+	// tableau objective-row value (phase-local) in Objective.
+	Trace []trace.Record
 }
 
 // Solver is a two-phase tableau simplex solver.
 type Solver struct {
 	maxPivots int
 	tol       float64
+
+	// mu serializes solves only when tracing is enabled (the ring is the
+	// solver's one piece of mutable state; untraced solvers stay
+	// lock-free, preserving the historical fully-concurrent behavior).
+	mu   sync.Mutex
+	ring *trace.Ring
 }
 
 // Option configures the solver.
@@ -44,6 +56,13 @@ type Option func(*Solver)
 // WithMaxPivots bounds the total pivot count (default 50000).
 func WithMaxPivots(n int) Option {
 	return func(s *Solver) { s.maxPivots = n }
+}
+
+// WithTrace enables per-pivot trace recording into a bounded ring of the
+// given capacity (<= 0 means trace.DefaultCapacity); the trajectory is
+// returned as Result.Trace.
+func WithTrace(capacity int) Option {
+	return func(s *Solver) { s.ring = trace.NewRing(capacity) }
 }
 
 // New returns a simplex solver.
@@ -136,6 +155,11 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if s.ring != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.ring.Reset()
+	}
 	n, m := p.NumVariables(), p.NumConstraints()
 
 	// Columns: x(n) | slacks(m) | artificials(≤m) | rhs.
@@ -200,12 +224,12 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 				return nil, fmt.Errorf("simplex: phase 1 unbounded: internal error")
 			}
 			if canceled(err) {
-				return &Result{Status: lp.StatusCanceled, Pivots: pivots}, err
+				return s.finishResult(&Result{Status: lp.StatusCanceled, Pivots: pivots}), err
 			}
 			return nil, err
 		}
 		if -t.a[m][cols-1] > 1e-7 {
-			return &Result{Status: lp.StatusInfeasible, Pivots: pivots}, nil
+			return s.finishResult(&Result{Status: lp.StatusInfeasible, Pivots: pivots}), nil
 		}
 		// Drive any artificial still in the basis out (degenerate case).
 		for i := 0; i < m; i++ {
@@ -245,10 +269,10 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	limit := n + m
 	if err := s.iterate(ctx, t, limit, &pivots); err != nil {
 		if errors.Is(err, errUnbounded) {
-			return &Result{Status: lp.StatusUnbounded, Pivots: pivots}, nil
+			return s.finishResult(&Result{Status: lp.StatusUnbounded, Pivots: pivots}), nil
 		}
 		if canceled(err) {
-			return &Result{Status: lp.StatusCanceled, Pivots: pivots}, err
+			return s.finishResult(&Result{Status: lp.StatusCanceled, Pivots: pivots}), err
 		}
 		return nil, err
 	}
@@ -263,7 +287,24 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Status: lp.StatusOptimal, X: x, Objective: obj2, Pivots: pivots}, nil
+	return s.finishResult(&Result{Status: lp.StatusOptimal, X: x, Objective: obj2, Pivots: pivots}), nil
+}
+
+// finishResult emits the terminal done record and attaches the trajectory
+// snapshot; a no-op when tracing is off. Callers hold s.mu when tracing.
+func (s *Solver) finishResult(res *Result) *Result {
+	if s.ring == nil {
+		return res
+	}
+	s.ring.Emit(trace.Record{
+		Event:     trace.EventDone,
+		Status:    res.Status.String(),
+		Attempt:   1,
+		Iteration: res.Pivots,
+		Objective: res.Objective,
+	})
+	res.Trace = s.ring.Snapshot()
+	return res
 }
 
 var errUnbounded = errors.New("simplex: unbounded direction")
@@ -293,5 +334,13 @@ func (s *Solver) iterate(ctx context.Context, t *tableau, limit int, pivots *int
 		}
 		t.pivot(row, col)
 		*pivots++
+		if s.ring != nil {
+			s.ring.Emit(trace.Record{
+				Event:     trace.EventPivot,
+				Attempt:   1,
+				Iteration: *pivots,
+				Objective: t.a[t.rows][t.cols-1],
+			})
+		}
 	}
 }

@@ -266,6 +266,10 @@ type Diagnostics struct {
 	// RecoveredBy names the rung that produced the result: "" (first
 	// attempt), "resolve", "remap", or "software".
 	RecoveredBy string
+	// EnergyJoules is the modeled analog energy of the returned attempt's
+	// hardware activity. Populated on clean first-try solves too, not just
+	// recovered ones.
+	EnergyJoules float64
 }
 
 // Solution is the result of a Solve call.
@@ -293,4 +297,14 @@ type Solution struct {
 	// Batch is the fabric-pool roll-up of a SolveBatch call; non-nil only on
 	// the first Solution of a batch.
 	Batch *BatchStats
+
+	// trace is the recorded iteration trajectory; set only when the solver
+	// was built WithTrace. Exposed through the Trace accessor.
+	trace []TraceRecord
 }
+
+// Trace returns the solve's recorded iteration trajectory, oldest first: one
+// record per PDIP iteration or simplex pivot, recovery-ladder events, and a
+// terminal done record whose fields agree with this Solution. Nil unless the
+// solver was built WithTrace (or WithTraceJSONL). The caller owns the slice.
+func (s *Solution) Trace() []TraceRecord { return s.trace }

@@ -3,6 +3,7 @@ package memlp
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/perf"
 	"github.com/memlp/memlp/internal/simplex"
+	"github.com/memlp/memlp/internal/trace"
 	"github.com/memlp/memlp/internal/variation"
 )
 
@@ -80,6 +82,9 @@ type options struct {
 	writeRetries   int
 	writeVerifyTol float64
 	timing         memristor.Timing
+	traced         bool
+	traceCap       int
+	traceJSONL     io.Writer
 
 	set map[string]bool
 }
@@ -109,6 +114,9 @@ func (o *options) validateFor(e Engine) error {
 		switch name {
 		case "WithConstantStep", "WithLiteralFillers":
 			ok = e == EngineCrossbarLargeScale
+		case "WithTrace", "WithTraceJSONL":
+			// Observability applies uniformly: every engine records traces.
+			ok = true
 		case "WithMaxIterations":
 			ok = e != EngineSimplex
 		case "WithParallelism":
@@ -366,6 +374,11 @@ type Solver struct {
 	// cumulative per fabric; snapshots around each solve yield marginals.
 	nocCfg     *noc.Config
 	nocFabrics []*noc.TiledFabric
+
+	// traceJSONL streams every trace record to the WithTraceJSONL writer in
+	// solve order; replay happens under s.mu, so batch output is in input
+	// order regardless of pool width. Nil when not configured.
+	traceJSONL *trace.JSONL
 }
 
 // NewSolver returns a reusable Solver for the given engine. Options that do
@@ -384,6 +397,9 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 	}
 
 	s := &Solver{engine: eng, timing: o.timing}
+	if o.traceJSONL != nil {
+		s.traceJSONL = trace.NewJSONL(o.traceJSONL)
+	}
 	switch eng {
 	case EnginePDIP, EnginePDIPReduced:
 		backend := pdip.NewtonFull
@@ -394,13 +410,21 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 		if o.maxIterations > 0 {
 			tol.MaxIterations = o.maxIterations
 		}
-		ps, err := pdip.New(pdip.WithBackend(backend), pdip.WithTolerances(tol))
+		popts := []pdip.Option{pdip.WithBackend(backend), pdip.WithTolerances(tol)}
+		if o.traced {
+			popts = append(popts, pdip.WithTrace(o.traceCap))
+		}
+		ps, err := pdip.New(popts...)
 		if err != nil {
 			return nil, err
 		}
 		s.backend = engine.PDIP{S: ps, BackendName: eng.String()}
 	case EngineSimplex:
-		sx, err := simplex.New()
+		var sopts []simplex.Option
+		if o.traced {
+			sopts = append(sopts, simplex.WithTrace(o.traceCap))
+		}
+		sx, err := simplex.New(sopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -496,6 +520,14 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 		Alpha:          alpha,
 		ConstantStep:   o.constantStep,
 		LiteralFillers: o.literal,
+		// The energy model is wired unconditionally so Diagnostics and trace
+		// records carry modeled joules whenever they are produced.
+		EnergyModel: func(c crossbar.Counters) float64 {
+			return perf.CrossbarCost(c, o.timing).Energy
+		},
+	}
+	if o.traced {
+		copts.Trace = &core.TraceOptions{Capacity: o.traceCap}
 	}
 	if o.maxIterations > 0 {
 		copts.Tol.MaxIterations = o.maxIterations
@@ -640,9 +672,31 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 			Remapped:         d.Remapped,
 			SoftwareFallback: d.SoftwareFallback,
 			RecoveredBy:      d.RecoveredBy,
+			EnergyJoules:     d.EnergyJoules,
+		}
+	}
+	if len(res.Trace) > 0 {
+		sol.trace = make([]TraceRecord, len(res.Trace))
+		for i, r := range res.Trace {
+			sol.trace[i] = TraceRecord(r)
+		}
+		if s.traceJSONL != nil {
+			for _, r := range res.Trace {
+				s.traceJSONL.Emit(r)
+			}
 		}
 	}
 	return sol
+}
+
+// TraceErr reports the first error the WithTraceJSONL writer returned, if
+// any; the stream stops at the first failure. Always nil without
+// WithTraceJSONL.
+func (s *Solver) TraceErr() error {
+	if s.traceJSONL == nil {
+		return nil
+	}
+	return s.traceJSONL.Err()
 }
 
 // nocSnapshot records the cumulative transfer stats of every captured tiled
