@@ -4,10 +4,14 @@
 // Usage:
 //
 //	lpgen -m 64 [-n 0] [-seed 1] [-infeasible] [-o problem.lp]
+//	lpgen -m 16 -socp [-soc-blocks 1] [-soc-dim 3]
 //
 // With n = 0 the paper's ratio n = m/3 is used. Instances are reproducible
 // per seed: feasible instances are feasible and bounded by construction,
-// infeasible ones embed a contradictory constraint pair.
+// infeasible ones embed a contradictory constraint pair. With -socp the
+// instance is a second-order cone program: -soc-blocks cones of -soc-dim
+// rows each, remaining rows in the non-negative orthant (solve it with
+// lpsolve -engine conic).
 package main
 
 import (
@@ -31,9 +35,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n          = fs.Int("n", 0, "number of variables (0 = m/3, the paper's ratio)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		infeasible = fs.Bool("infeasible", false, "generate a contradictory (infeasible) instance")
+		socp       = fs.Bool("socp", false, "generate a second-order cone program instead of a pure LP")
+		socBlocks  = fs.Int("soc-blocks", 0, "number of second-order cone blocks (0 = 1; requires -socp)")
+		socDim     = fs.Int("soc-dim", 0, "rows per second-order cone block (0 = 3; requires -socp)")
 		out        = fs.String("o", "", "output file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*socBlocks != 0 || *socDim != 0) && !*socp {
+		fmt.Fprintln(stderr, "lpgen: -soc-blocks and -soc-dim require -socp")
+		return 2
+	}
+	if *socp && *infeasible {
+		fmt.Fprintln(stderr, "lpgen: -socp and -infeasible are mutually exclusive")
 		return 2
 	}
 
@@ -41,9 +56,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		p   *memlp.Problem
 		err error
 	)
-	if *infeasible {
+	switch {
+	case *socp:
+		p, err = memlp.GenerateFeasibleSOCP(*m, *n, *socBlocks, *socDim, *seed)
+	case *infeasible:
 		p, err = memlp.GenerateInfeasible(*m, *n, *seed)
-	} else {
+	default:
 		p, err = memlp.GenerateFeasible(*m, *n, *seed)
 	}
 	if err != nil {

@@ -51,6 +51,53 @@ func TestGenerateInfeasible(t *testing.T) {
 	}
 }
 
+func TestGenerateSOCPRoundTrip(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-m", "12", "-seed", "7", "-socp", "-soc-blocks", "2", "-soc-dim", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	p, err := memlp.ReadProblem(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if !p.IsConic() {
+		t.Fatal("generated -socp instance is not conic")
+	}
+	socBlocks := 0
+	for _, k := range p.Cones() {
+		if k.Type == memlp.ConeSOC {
+			socBlocks++
+			if k.Dim != 3 {
+				t.Errorf("SOC block dim = %d, want 3", k.Dim)
+			}
+		}
+	}
+	if socBlocks != 2 {
+		t.Errorf("SOC blocks = %d, want 2", socBlocks)
+	}
+	// Generated SOCPs must solve on the software conic baseline.
+	sol, err := memlp.Solve(p, memlp.EnginePDIP)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != memlp.StatusOptimal {
+		t.Errorf("generated SOCP not optimal: %v", sol.Status)
+	}
+}
+
+func TestGenerateSOCPFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-m", "9", "-soc-blocks", "2"}, &out, &errBuf); code != 2 {
+		t.Fatalf("-soc-blocks without -socp: exit = %d, want 2", code)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-m", "9", "-socp", "-infeasible"}, &out, &errBuf); code != 2 {
+		t.Fatalf("-socp -infeasible: exit = %d, want 2", code)
+	}
+}
+
 func TestGenerateToFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.lp")
 	var out, errBuf bytes.Buffer

@@ -8,8 +8,9 @@
 //	lpsolve -parallel 4 batch0.lp batch1.lp batch2.lp ...
 //
 // Engines: crossbar (the paper's Algorithm 1), crossbar-large-scale
-// (Algorithm 2), pdip (software full-Newton baseline), pdip-reduced
-// (software reduced-KKT baseline), simplex.
+// (Algorithm 2), conic (Algorithm 1 extended to second-order cone programs),
+// pdip (software full-Newton baseline), pdip-reduced (software reduced-KKT
+// baseline), simplex.
 //
 // With more than one problem file the crossbar engine solves them as one
 // batch on a sharded fabric pool: the problems must share a constraint
@@ -41,7 +42,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | pdip | pdip-reduced | simplex")
+		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | conic | pdip | pdip-reduced | simplex")
 		varPct      = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
 		seed        = fs.Int64("seed", 1, "random seed for variation draws")
 		nocTopo     = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
@@ -70,7 +71,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// Hardware options only apply to the crossbar engines; passing them to a
 	// software engine would be rejected by memlp.NewSolver. Batching (and so
 	// -parallel) is Algorithm 1 only.
-	crossbarEngine := engine == memlp.EngineCrossbar || engine == memlp.EngineCrossbarLargeScale
+	crossbarEngine := engine == memlp.EngineCrossbar || engine == memlp.EngineCrossbarLargeScale ||
+		engine == memlp.EngineConic
 	var opts []memlp.Option
 	if crossbarEngine {
 		if *varPct > 0 {
@@ -138,6 +140,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "engine:     %s\n", engine)
 	fmt.Fprintf(stdout, "status:     %s\n", sol.Status)
 	fmt.Fprintf(stdout, "objective:  %.6g\n", sol.Objective)
+	if p.IsConic() {
+		fmt.Fprintf(stdout, "cone inf:   %.3g\n", sol.ConeInfeasibility)
+	}
 	if sol.Iterations > 0 {
 		fmt.Fprintf(stdout, "iterations: %d\n", sol.Iterations)
 	}
@@ -286,6 +291,8 @@ func engineByName(name string) (memlp.Engine, bool) {
 		return memlp.EngineCrossbar, true
 	case "crossbar-large-scale":
 		return memlp.EngineCrossbarLargeScale, true
+	case "conic":
+		return memlp.EngineConic, true
 	case "pdip":
 		return memlp.EnginePDIP, true
 	case "pdip-reduced":

@@ -45,6 +45,50 @@ func TestRunCrossbarEngineReportsHardware(t *testing.T) {
 	}
 }
 
+// socpProblem is the circle fixture: max x₀+x₁ with ‖x‖ ≤ 3, optimum 3√2.
+const socpProblem = `name circle
+maximize 1 1
+subject 1 1 <= 5
+subject 0 0 <= 3
+subject 1 0 <= 0
+subject 0 1 <= 0
+cone nonneg 1
+cone soc 3
+`
+
+func TestRunConicEngine(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "conic", "-v"}, strings.NewReader(socpProblem), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "status:     optimal") {
+		t.Errorf("missing optimal status:\n%s", s)
+	}
+	// ~3√2 ≈ 4.243, within the analog accuracy floor.
+	if !strings.Contains(s, "objective:  4.2") {
+		t.Errorf("objective not ~3√2:\n%s", s)
+	}
+	if !strings.Contains(s, "cone inf:") {
+		t.Errorf("missing cone infeasibility line:\n%s", s)
+	}
+	if !strings.Contains(s, "hardware:") {
+		t.Errorf("conic engine should report hardware estimate:\n%s", s)
+	}
+}
+
+func TestRunConicRejectedByCrossbar(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-engine", "crossbar"}, strings.NewReader(socpProblem), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "conic") {
+		t.Errorf("stderr should point at the conic engine: %s", errBuf.String())
+	}
+}
+
 func TestRunUnknownEngine(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-engine", "quantum"}, strings.NewReader(tinyProblem), &out, &errBuf)
@@ -73,7 +117,7 @@ func TestRunMissingFile(t *testing.T) {
 }
 
 func TestEngineByName(t *testing.T) {
-	for _, name := range []string{"crossbar", "crossbar-large-scale", "pdip", "pdip-reduced", "simplex"} {
+	for _, name := range []string{"crossbar", "crossbar-large-scale", "conic", "pdip", "pdip-reduced", "simplex"} {
 		if _, ok := engineByName(name); !ok {
 			t.Errorf("engineByName(%q) not found", name)
 		}

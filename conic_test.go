@@ -1,0 +1,250 @@
+package memlp
+
+// Public-API acceptance suite for the conic-form core (DESIGN.md D14): the
+// conic engine must solve the SOCP workloads the refactor targets — portfolio
+// optimization and robust regression — to verified optimality on the
+// fault-injected analog fabric, pure LPs must take the bit-identical LP path
+// whether or not they carry an explicit all-orthant cone list, and every
+// LP-only engine must reject SOC blocks with the sentinel error instead of
+// producing a silently wrong answer.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// defaultFaultOpts is the examples' default fault model: seeded stuck cells
+// with the full recovery ladder behind them.
+func defaultFaultOpts(seed int64) []Option {
+	return []Option{
+		WithSeed(seed),
+		WithFaultModel(FaultModel{StuckOnDensity: 0.0005, StuckOffDensity: 0.0005}),
+	}
+}
+
+// portfolioProblem mirrors examples/portfolio: maximize expected return under
+// a budget row and a second-order-cone risk cap ‖F·x‖ ≤ σ.
+func portfolioProblem(t *testing.T) *Problem {
+	t.Helper()
+	p, err := NewConicProblem("portfolio",
+		[]float64{0.12, 0.09, 0.05},
+		[][]float64{
+			{1, 1, 1},
+			{0, 0, 0},
+			{-0.20, -0.05, -0.01},
+			{-0.04, -0.12, -0.02},
+		},
+		[]float64{1, 0.08, 0, 0},
+		[]Cone{{Type: ConeNonNeg, Dim: 1}, {Type: ConeSOC, Dim: 3}})
+	if err != nil {
+		t.Fatalf("NewConicProblem: %v", err)
+	}
+	return p
+}
+
+// robustRegressionProblem mirrors examples/robustreg: minimize ‖y − X·β‖ via
+// the epigraph variable t on the cone axis.
+func robustRegressionProblem(t *testing.T) *Problem {
+	t.Helper()
+	u := []float64{0, 1, 2, 3}
+	y := []float64{1.05, 1.52, 1.98, 2.55}
+	rows := [][]float64{
+		{0, 0, 1},
+		{0, 0, -1},
+	}
+	b := []float64{10, 0}
+	for i := range u {
+		rows = append(rows, []float64{1, u[i], 0})
+		b = append(b, y[i])
+	}
+	p, err := NewConicProblem("robust-regression", []float64{0, 0, -1}, rows, b,
+		[]Cone{{Type: ConeNonNeg, Dim: 1}, {Type: ConeSOC, Dim: 1 + len(u)}})
+	if err != nil {
+		t.Fatalf("NewConicProblem: %v", err)
+	}
+	return p
+}
+
+// TestConicEngineSolvesSOCPWorkloads is the refactor's acceptance criterion:
+// the conic engine solves both example SOCPs to StatusOptimal on the
+// fault-injected fabric, agreeing with the software conic baseline, with the
+// slack verifiably inside the cones.
+func TestConicEngineSolvesSOCPWorkloads(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prob func(*testing.T) *Problem
+		seed int64
+	}{
+		{"portfolio", portfolioProblem, 21},
+		{"robust-regression", robustRegressionProblem, 11},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prob(t)
+			ref, err := Solve(p, EnginePDIP)
+			if err != nil {
+				t.Fatalf("software reference: %v", err)
+			}
+			if ref.Status != StatusOptimal {
+				t.Fatalf("software reference status: %v", ref.Status)
+			}
+
+			solver, err := NewSolver(EngineConic, defaultFaultOpts(tc.seed)...)
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			sol, err := solver.Solve(context.Background(), p)
+			if err != nil {
+				t.Fatalf("conic solve: %v", err)
+			}
+			if sol.Status != StatusOptimal {
+				t.Fatalf("status = %v, want optimal (diagnostics %+v)", sol.Status, sol.Diagnostics)
+			}
+			if rel := math.Abs(sol.Objective-ref.Objective) / (1 + math.Abs(ref.Objective)); rel > 0.01 {
+				t.Errorf("objective %v vs software %v (rel %v)", sol.Objective, ref.Objective, rel)
+			}
+			if sol.ConeInfeasibility > 1e-2 {
+				t.Errorf("cone infeasibility %v", sol.ConeInfeasibility)
+			}
+			if sol.Hardware == nil {
+				t.Error("conic engine returned no hardware estimate")
+			}
+		})
+	}
+}
+
+// TestConicEngineLPDegenerateBitIdentical pins the core promise of the
+// conic-form refactor at the public API: a pure LP solved by the conic
+// engine — with or without an explicit all-orthant cone list — produces
+// bit-identical iterates to the crossbar engine, trace records included
+// (modulo the engine name stamp).
+func TestConicEngineLPDegenerateBitIdentical(t *testing.T) {
+	for _, tc := range propertyCases {
+		base, err := GenerateFeasible(tc.m, 0, tc.seed)
+		if err != nil {
+			t.Fatalf("GenerateFeasible: %v", err)
+		}
+		tagged, err := NewConicProblem(base.Name(),
+			base.inner.C, rowsOf(base), base.inner.B,
+			[]Cone{{Type: ConeNonNeg, Dim: base.NumConstraints()}})
+		if err != nil {
+			t.Fatalf("NewConicProblem: %v", err)
+		}
+
+		solve := func(eng Engine, p *Problem) *Solution {
+			s, err := NewSolver(eng, WithSeed(tc.seed), WithTrace(0))
+			if err != nil {
+				t.Fatalf("NewSolver(%v): %v", eng, err)
+			}
+			sol, err := s.Solve(context.Background(), p)
+			if err != nil {
+				t.Fatalf("%v solve: %v", eng, err)
+			}
+			return sol
+		}
+		lpSol := solve(EngineCrossbar, base)
+		for name, sol := range map[string]*Solution{
+			"conic nil-cones":      solve(EngineConic, base),
+			"conic explicit-cones": solve(EngineConic, tagged),
+		} {
+			if sol.Status != lpSol.Status || sol.Iterations != lpSol.Iterations {
+				t.Fatalf("m=%d %s: trajectory diverges: %v/%d vs %v/%d", tc.m, name,
+					sol.Status, sol.Iterations, lpSol.Status, lpSol.Iterations)
+			}
+			for i := range lpSol.X {
+				if sol.X[i] != lpSol.X[i] {
+					t.Fatalf("m=%d %s: x[%d] differs bitwise: %v vs %v",
+						tc.m, name, i, sol.X[i], lpSol.X[i])
+				}
+			}
+			a, b := lpSol.Trace(), sol.Trace()
+			if len(a) != len(b) {
+				t.Fatalf("m=%d %s: trace lengths differ: %d vs %d", tc.m, name, len(a), len(b))
+			}
+			for i := range a {
+				ra, rb := a[i], b[i]
+				ra.Engine, rb.Engine = "", ""
+				if ra != rb {
+					t.Fatalf("m=%d %s: trace[%d] differs:\n%+v\n%+v", tc.m, name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// rowsOf converts a problem's constraint matrix back to row-major form.
+func rowsOf(p *Problem) [][]float64 {
+	m, n := p.NumConstraints(), p.NumVariables()
+	rows := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		rows[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			rows[i][j] = p.inner.A.At(i, j)
+		}
+	}
+	return rows
+}
+
+// TestConicRejectedByLPOnlyEngines pins the rejection surface: every engine
+// without a conic path refuses SOC blocks with ErrConicUnsupported (which
+// matches ErrInvalid), rather than mis-solving them as an LP.
+func TestConicRejectedByLPOnlyEngines(t *testing.T) {
+	p := portfolioProblem(t)
+	for _, eng := range []Engine{EngineCrossbar, EngineCrossbarLargeScale, EngineSimplex} {
+		_, err := Solve(p, eng)
+		if !errors.Is(err, ErrConicUnsupported) {
+			t.Errorf("%v: err = %v, want ErrConicUnsupported", eng, err)
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%v: ErrConicUnsupported does not match ErrInvalid", eng)
+		}
+	}
+	// The batch pool is LP-only regardless of engine.
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveBatch(context.Background(), []*Problem{p}); !errors.Is(err, ErrConicUnsupported) {
+		t.Errorf("SolveBatch: err = %v, want ErrConicUnsupported", err)
+	}
+	// The software PDIP baselines accept conic problems.
+	for _, eng := range []Engine{EnginePDIP, EnginePDIPReduced} {
+		sol, err := Solve(p, eng)
+		if err != nil {
+			t.Errorf("%v: %v", eng, err)
+			continue
+		}
+		if sol.Status != StatusOptimal {
+			t.Errorf("%v: status = %v, want optimal", eng, sol.Status)
+		}
+	}
+}
+
+// TestGenerateFeasibleSOCPPublic checks the public generator end to end:
+// reproducible per seed, conic by construction, solvable by the conic engine.
+func TestGenerateFeasibleSOCPPublic(t *testing.T) {
+	p1, err := GenerateFeasibleSOCP(12, 0, 2, 3, 5)
+	if err != nil {
+		t.Fatalf("GenerateFeasibleSOCP: %v", err)
+	}
+	p2, err := GenerateFeasibleSOCP(12, 0, 2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.IsConic() {
+		t.Fatal("generated SOCP is not conic")
+	}
+	for i, k := range p1.Cones() {
+		if k != p2.Cones()[i] {
+			t.Fatalf("cone partition not reproducible: %+v vs %+v", p1.Cones(), p2.Cones())
+		}
+	}
+	sol, err := Solve(p1, EngineConic, WithSeed(5))
+	if err != nil {
+		t.Fatalf("conic solve: %v", err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Errorf("status = %v, want optimal", sol.Status)
+	}
+}

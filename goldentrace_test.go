@@ -60,6 +60,25 @@ func feasibleLP(t testing.TB, m int, seed int64) *Problem {
 	return p
 }
 
+// portfolioSOCP is the portfolio fixture from conic_test.go, reused as a
+// pinned conic trajectory.
+func portfolioSOCP(t testing.TB) *Problem {
+	tt, ok := t.(*testing.T)
+	if !ok {
+		t.Fatal("portfolioSOCP needs *testing.T")
+	}
+	return portfolioProblem(tt)
+}
+
+func feasibleSOCP(t testing.TB, m, blocks, blockDim int, seed int64) *Problem {
+	t.Helper()
+	p, err := GenerateFeasibleSOCP(m, 0, blocks, blockDim, seed)
+	if err != nil {
+		t.Fatalf("GenerateFeasibleSOCP(%d, %d): %v", m, seed, err)
+	}
+	return p
+}
+
 // goldenTraceCase is one pinned scenario: a solver configuration plus the
 // problem(s) it solves. Batch cases concatenate the per-problem traces in
 // input order, which the pool guarantees is pool-width independent.
@@ -104,6 +123,14 @@ func goldenTraceCases() []goldenTraceCase {
 			problems: single(func(t testing.TB) *Problem { return feasibleLP(t, 6, 19) })},
 		{name: "simplex-gen9", engine: EngineSimplex,
 			problems: single(func(t testing.TB) *Problem { return feasibleLP(t, 9, 31) })},
+		// Conic engine: SOCP trajectories, pinning the Nesterov–Todd block
+		// refresh path and the cone-residual field under stochastic hardware.
+		{name: "conic-portfolio", engine: EngineConic,
+			opts:     append([]Option{WithSeed(9)}, noisy...),
+			problems: single(portfolioSOCP)},
+		{name: "conic-gen12", engine: EngineConic,
+			opts:     []Option{WithSeed(15), WithVariation(0.08), WithCycleNoise(0.5)},
+			problems: single(func(t testing.TB) *Problem { return feasibleSOCP(t, 12, 2, 3, 43) })},
 		// A sharded batch: three instances on a two-replica pool. The golden
 		// pins the per-problem noise epochs and the input-order aggregation.
 		{name: "crossbar-batch", engine: EngineCrossbar, batch: true,

@@ -32,7 +32,7 @@ func Default() []*Analyzer {
 		}),
 		Hotpath(),
 		Tracesink(TracesinkConfig{
-			Pkgs: []string{"internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+			Pkgs: []string{"internal/cone", "internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
 		}),
 	}
 }

@@ -209,9 +209,15 @@ func validateBatch(problems []*lp.Problem) error {
 	if err := first.Validate(); err != nil {
 		return err
 	}
+	if first.IsConic() {
+		return fmt.Errorf("core: batch solving: %w", lp.ErrConicUnsupported)
+	}
 	for i, p := range problems[1:] {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("problem %d: %w", i+1, err)
+		}
+		if p.IsConic() {
+			return fmt.Errorf("problem %d: %w", i+1, lp.ErrConicUnsupported)
 		}
 		if p.A != first.A && !p.A.Equal(first.A, 0) {
 			return fmt.Errorf("%w: problem %d has a different constraint matrix", lp.ErrInvalid, i+1)

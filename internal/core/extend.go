@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
 )
@@ -25,12 +26,33 @@ import (
 // where A′/Aᵀ′ zero out the negative entries of A/Aᵀ, A″/Aᵀ″ carry their
 // absolute values in the Δp columns (Eq. 13), and q is the number of columns
 // of A (resp. rows of A) containing at least one negative entry.
+//
+// For conic problems the r4 rows of each second-order-cone block carry the
+// dense Nesterov–Todd complementarity blocks instead of the scalar W/Y
+// diagonals: P·Δw + Q·Δy = µe − λ∘λ, with P = Arw(λ)W⁻¹ and Q = Arw(λ)W
+// (see internal/cone). The identity P·w + Q·y = 2·λ∘λ means the analog
+// product through those rows is still exactly twice the complementarity
+// vector, so the same Eq. 15 resistive divider (factor 0.5) and base-vector
+// subtraction apply unchanged. Because P/Q entries change sign across
+// iterations, every y component of a SOC row gets an unconditional Δp mirror
+// column (negative coefficients move there with absolute value, exactly like
+// Eq. 13 handles negative A entries), and negative Δw coefficients reuse the
+// Δu = −Δw mirror that row r5 already enforces.
 type extended struct {
 	n, m, q int
 	size    int
 
 	// pOfX[j] is the Δp index mirroring −Δx_j, or -1; pOfY likewise for y.
 	pOfX, pOfY []int
+
+	// Cone geometry: blocks lists the second-order-cone blocks of the
+	// constraint rows (empty for pure LPs), socRow[i] is the block index
+	// owning row i or -1, and scalings holds one NT scaling per block,
+	// refreshed each iteration before the r4 rows are rewritten.
+	blocks   []cone.Block
+	socRow   []int
+	scalings []*cone.Scaling
+	coneTmp  linalg.Vector // per-block slack scratch (max block dim)
 
 	// matrix is the digital mirror of what is programmed on the fabric.
 	matrix *linalg.Matrix
@@ -43,6 +65,9 @@ type extended struct {
 	factor         linalg.Vector // factorVector backing store
 	dx, dy, dw, dz linalg.Vector // split backing stores
 }
+
+// conic reports whether the extended system carries second-order-cone blocks.
+func (e *extended) conic() bool { return len(e.blocks) > 0 }
 
 // Column offsets within the extended variable vector.
 func (e *extended) colX(j int) int { return j }
@@ -79,10 +104,14 @@ func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*
 	if e == nil || e.n != n || e.m != m {
 		e = &extended{n: n, m: m, pOfX: make([]int, n), pOfY: make([]int, m)}
 	}
+	e.prepareCones(p)
 
 	// Assign Δp slots: one per column of A with a negative entry (mirrors
 	// −Δx_j) and one per row of A with a negative entry (mirrors −Δy_k,
-	// because row k of A is column k of Aᵀ).
+	// because row k of A is column k of Aᵀ). Every SOC row gets a mirror
+	// unconditionally: its r4 coefficients flip sign from iteration to
+	// iteration, so the −Δy column must exist even when row k of A is
+	// all-nonnegative.
 	q := 0
 	for j := 0; j < n; j++ {
 		e.pOfX[j] = -1
@@ -96,6 +125,11 @@ func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*
 	}
 	for k := 0; k < m; k++ {
 		e.pOfY[k] = -1
+		if e.socRow != nil && e.socRow[k] >= 0 {
+			e.pOfY[k] = q
+			q++
+			continue
+		}
 		for j := 0; j < n; j++ {
 			if p.A.At(k, j) < 0 {
 				e.pOfY[k] = q
@@ -113,6 +147,14 @@ func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*
 		e.dx, e.dy, e.dw, e.dz = nil, nil, nil, nil
 	} else {
 		e.matrix.Zero()
+		// A reused update buffer may hold cells from a different cone
+		// layout of the same size; clear so only live cells are programmed.
+		for i := range e.upd {
+			e.upd[i].row.Fill(0)
+		}
+	}
+	if e.conic() && !e.updateScalings(w, y) {
+		return nil, fmt.Errorf("core: initial cone iterate not interior")
 	}
 
 	mtx := e.matrix
@@ -178,8 +220,66 @@ func newExtendedInto(prev *extended, p *lp.Problem, x, y, w, z linalg.Vector) (*
 	return e, nil
 }
 
+// prepareCones (re)derives the cone geometry from p. Scalings are reused
+// when the block layout is unchanged, so same-shaped conic solves allocate
+// nothing here.
+func (e *extended) prepareCones(p *lp.Problem) {
+	blocks := p.SOCBlocks()
+	if len(blocks) == 0 {
+		e.blocks, e.socRow, e.scalings, e.coneTmp = nil, nil, nil, nil
+		return
+	}
+	e.blocks = blocks
+	if len(e.socRow) != e.m {
+		e.socRow = make([]int, e.m)
+	}
+	for i := range e.socRow {
+		e.socRow[i] = -1
+	}
+	maxDim := 0
+	reuse := len(e.scalings) == len(blocks)
+	for bi, blk := range blocks {
+		for i := 0; i < blk.Dim; i++ {
+			e.socRow[blk.Start+i] = bi
+		}
+		if blk.Dim > maxDim {
+			maxDim = blk.Dim
+		}
+		if reuse && e.scalings[bi].Dim() != blk.Dim {
+			reuse = false
+		}
+	}
+	if !reuse {
+		e.scalings = make([]*cone.Scaling, len(blocks))
+		for bi, blk := range blocks {
+			e.scalings[bi] = cone.NewScaling(blk.Dim)
+		}
+	}
+	if len(e.coneTmp) < maxDim {
+		e.coneTmp = linalg.NewVector(maxDim)
+	}
+}
+
+// updateScalings refreshes the per-block NT scalings from the current
+// iterate. It reports false when a block of w or y has left the cone
+// interior, which the caller must treat as a numerical failure.
+//
+//memlp:hotpath
+func (e *extended) updateScalings(w, y linalg.Vector) bool {
+	for bi, blk := range e.blocks {
+		if !e.scalings[bi].Update(w[blk.Start:blk.Start+blk.Dim], y[blk.Start:blk.Start+blk.Dim]) {
+			return false
+		}
+	}
+	return true
+}
+
 // fillDiagRows writes the X/Y/Z/W complementarity entries into the digital
-// mirror (rows r3 and r4).
+// mirror (rows r3 and r4). Orthant rows keep the scalar w/y cells; SOC rows
+// get their dense NT blocks, sign-split across the mirror columns (the
+// complementary cell of each pair is zeroed so stale magnitudes never
+// survive a sign flip). For conic systems the caller must refresh the
+// scalings (updateScalings) first.
 //
 //memlp:hotpath
 func (e *extended) fillDiagRows(x, y, w, z linalg.Vector) {
@@ -188,10 +288,46 @@ func (e *extended) fillDiagRows(x, y, w, z linalg.Vector) {
 		e.matrix.Set(r, e.colX(i), z[i])
 		e.matrix.Set(r, e.colZ(i), x[i])
 	}
+	if !e.conic() {
+		for i := 0; i < e.m; i++ {
+			r := e.rowR4(i)
+			e.matrix.Set(r, e.colY(i), w[i])
+			e.matrix.Set(r, e.colW(i), y[i])
+		}
+		return
+	}
 	for i := 0; i < e.m; i++ {
+		if e.socRow[i] >= 0 {
+			continue
+		}
 		r := e.rowR4(i)
 		e.matrix.Set(r, e.colY(i), w[i])
 		e.matrix.Set(r, e.colW(i), y[i])
+	}
+	for bi := range e.blocks {
+		blk := e.blocks[bi]
+		sc, d := e.scalings[bi], blk.Dim
+		for i := 0; i < d; i++ {
+			r := e.rowR4(blk.Start + i)
+			for j := 0; j < d; j++ {
+				k := blk.Start + j
+				qv, pv := sc.Q[i*d+j], sc.P[i*d+j]
+				if qv >= 0 {
+					e.matrix.Set(r, e.colY(k), qv)
+					e.matrix.Set(r, e.colP(e.pOfY[k]), 0)
+				} else {
+					e.matrix.Set(r, e.colY(k), 0)
+					e.matrix.Set(r, e.colP(e.pOfY[k]), -qv)
+				}
+				if pv >= 0 {
+					e.matrix.Set(r, e.colW(k), pv)
+					e.matrix.Set(r, e.colU(k), 0)
+				} else {
+					e.matrix.Set(r, e.colW(k), 0)
+					e.matrix.Set(r, e.colU(k), -pv)
+				}
+			}
+		}
 	}
 }
 
@@ -216,10 +352,45 @@ func (e *extended) diagRowUpdates(x, y, w, z linalg.Vector) []rowUpdate {
 		row[e.colX(i)] = z[i]
 		row[e.colZ(i)] = x[i]
 	}
+	if !e.conic() {
+		for i := 0; i < e.m; i++ {
+			row := e.upd[e.n+i].row
+			row[e.colY(i)] = w[i]
+			row[e.colW(i)] = y[i]
+		}
+		return e.upd
+	}
 	for i := 0; i < e.m; i++ {
+		if e.socRow[i] >= 0 {
+			continue
+		}
 		row := e.upd[e.n+i].row
 		row[e.colY(i)] = w[i]
 		row[e.colW(i)] = y[i]
+	}
+	// SOC rows rewrite 4·d cells each: the sign-split NT block pair, with
+	// the complementary cell of every pair zeroed (signs flip across
+	// iterations and UpdateRow programs the entire row).
+	for bi := range e.blocks {
+		blk := e.blocks[bi]
+		sc, d := e.scalings[bi], blk.Dim
+		for i := 0; i < d; i++ {
+			row := e.upd[e.n+blk.Start+i].row
+			for j := 0; j < d; j++ {
+				k := blk.Start + j
+				qv, pv := sc.Q[i*d+j], sc.P[i*d+j]
+				if qv >= 0 {
+					row[e.colY(k)], row[e.colP(e.pOfY[k])] = qv, 0
+				} else {
+					row[e.colY(k)], row[e.colP(e.pOfY[k])] = 0, -qv
+				}
+				if pv >= 0 {
+					row[e.colW(k)], row[e.colU(k)] = pv, 0
+				} else {
+					row[e.colW(k)], row[e.colU(k)] = 0, -pv
+				}
+			}
+		}
 	}
 	return e.upd
 }
@@ -278,6 +449,13 @@ func (e *extended) baseVector(p *lp.Problem, mu float64) linalg.Vector {
 	for i := 0; i < e.m; i++ {
 		base[e.rowR4(i)] = mu
 	}
+	// SOC rows center on µ·e with e the Jordan identity: µ sits on the
+	// block axis only, the tail rows subtract the full analog product.
+	for _, blk := range e.blocks {
+		for i := 1; i < blk.Dim; i++ {
+			base[e.rowR4(blk.Start+i)] = 0
+		}
+	}
 	return base
 }
 
@@ -315,4 +493,36 @@ func (e *extended) split(ds linalg.Vector) (dx, dy, dw, dz linalg.Vector) {
 	copy(e.dw, ds[e.n+e.m:e.n+2*e.m])
 	copy(e.dz, ds[e.n+2*e.m:2*e.n+2*e.m])
 	return e.dx, e.dy, e.dw, e.dz
+}
+
+// barrierDegree returns the ν the µ rule divides the duality gap by: n + m
+// for pure LPs (every complementarity pair is scalar), and for conic systems
+// each SOC block counts once instead of once per row.
+func (e *extended) barrierDegree() float64 {
+	if !e.conic() {
+		return float64(e.n + e.m)
+	}
+	socRows := 0
+	for _, blk := range e.blocks {
+		socRows += blk.Dim
+	}
+	return float64(e.n + (e.m - socRows) + len(e.blocks))
+}
+
+// slackConeInf measures the worst second-order-cone violation of the
+// reconstructed constraint slack b − A·x ≈ r1 + w, read off the measured
+// residual exactly as the controller sees it.
+//
+//memlp:hotpath
+func (e *extended) slackConeInf(r, w linalg.Vector) float64 {
+	worst := 0.0
+	for _, blk := range e.blocks {
+		for i := 0; i < blk.Dim; i++ {
+			e.coneTmp[i] = r[e.rowR1(blk.Start+i)] + w[blk.Start+i]
+		}
+		if d := cone.Dist(e.coneTmp[:blk.Dim]); d > worst {
+			worst = d
+		}
+	}
+	return worst
 }

@@ -87,6 +87,11 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Algorithm 2's two-phase M1/M2 split carries the scalar w/y couplings in
+	// its reduced matrices; the dense NT blocks do not fit that layout.
+	if p.IsConic() {
+		return nil, fmt.Errorf("core: large-scale solver: %w", lp.ErrConicUnsupported)
+	}
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()

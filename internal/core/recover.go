@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/pdip"
@@ -112,11 +113,24 @@ type ladderFuncs struct {
 // (O(mn), versus the O(N³)-equivalent solve): the claimed primal/dual pair
 // must close the duality gap, cᵀx ≈ bᵀy, and satisfy dual feasibility
 // Aᵀy ≥ c, both against the TRUE coefficients and within the analog
-// tolerance. Dimension mismatches skip the check (nothing to compare).
+// tolerance. For conic problems the dual cone membership y ∈ K is checked
+// as well (K is self-dual, so the same Dist test applies); this is the
+// conic generalization of the duality cross-check. Dimension mismatches
+// skip the check (nothing to compare).
 func analogAnswerConsistent(p *lp.Problem, res *Result, tol float64) bool {
 	m, n := p.A.Rows(), p.A.Cols()
 	if len(res.X) != n || len(res.Y) != m {
 		return true
+	}
+	for _, blk := range p.SOCBlocks() {
+		yb := res.Y[blk.Start : blk.Start+blk.Dim]
+		var nrm float64
+		for _, v := range yb {
+			nrm += v * v
+		}
+		if cone.Dist(yb) > tol*(1+math.Sqrt(nrm)) {
+			return false
+		}
 	}
 	primal, err := p.Objective(res.X)
 	if err != nil {
@@ -334,6 +348,7 @@ func softwareSolve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		PrimalInfeasibility: r.PrimalInfeasibility,
 		DualInfeasibility:   r.DualInfeasibility,
 		DualityGap:          r.DualityGap,
+		ConeInfeasibility:   r.ConeInfeasibility,
 	}
 	return res, err
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
@@ -153,6 +155,10 @@ type Result struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// ConeInfeasibility is the worst second-order-cone violation of the
+	// constraint slack b − A·x, measured from the analog residual; always 0
+	// for pure LPs.
+	ConeInfeasibility float64
 
 	// Counters aggregates the fabric's physical operation counts for THIS
 	// solve (per-solve marginal when the fabric persists across solves).
@@ -292,6 +298,12 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 	y := s.initBuf[n : n+m]
 	w := s.initBuf[n+m : n+2*m]
 	z := s.initBuf[n+2*m:]
+	// SOC blocks start at the Jordan identity e = (1, 0, …, 0): the all-ones
+	// vector is NOT interior for cone dimension ≥ 3 (‖tail‖ ≥ axis).
+	if blocks := p.SOCBlocks(); len(blocks) > 0 {
+		cone.InitInterior(y, blocks)
+		cone.InitInterior(w, blocks)
+	}
 
 	ext, err := newExtendedInto(s.ext, p, x, y, w, z)
 	if err != nil {
@@ -321,6 +333,9 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 	z = sExt[n+2*m : 2*n+2*m]
 
 	res := &Result{Status: lp.StatusIterationLimit, MatrixSize: ext.size}
+	conic := ext.conic()
+	nu := ext.barrierDegree()
+	bestConeInf := 0.0
 	bestGap := infNaN()
 	stall := 0
 	prevNorm := 0.0
@@ -342,7 +357,7 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 		// The duality gap zᵀx + yᵀw is computed digitally (the controller
 		// holds s) — Eq. 8.
 		gap := dualityGap(x, z, y, w)
-		mu := tol.Delta * gap / float64(n+m)
+		mu := tol.Delta * gap / nu
 		// Residual r in one fused analog operation (Eq. 15): the fabric
 		// computes M·s, halves the r3/r4 rows with resistive dividers, and
 		// subtracts from the calibrated base at the summing amplifiers —
@@ -358,8 +373,13 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 		res.PrimalInfeasibility = normInfRange(r, ext.rowR1(0), ext.m)
 		res.DualInfeasibility = normInfRange(r, ext.rowR2(0), ext.n)
 		res.DualityGap = gap
+		if conic {
+			res.ConeInfeasibility = ext.slackConeInf(r, w)
+		}
 
-		best.consider(res.PrimalInfeasibility, res.DualInfeasibility, gap, x, y, w, z)
+		if best.consider(res.PrimalInfeasibility, res.DualInfeasibility, gap, x, y, w, z) {
+			bestConeInf = res.ConeInfeasibility
+		}
 
 		if res.PrimalInfeasibility <= tol.PrimalFeasTol &&
 			res.DualInfeasibility <= tol.DualFeasTol &&
@@ -410,9 +430,14 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 			break
 		}
 
-		theta := stepLength(tol.StepScale, [][2]linalg.Vector{
-			{x, dx}, {y, dy}, {w, dw}, {z, dz},
-		})
+		var theta float64
+		if conic {
+			theta = stepLengthConic(tol.StepScale, ext, x, dx, y, dy, w, dw, z, dz)
+		} else {
+			theta = stepLength(tol.StepScale, [][2]linalg.Vector{
+				{x, dx}, {y, dy}, {w, dw}, {z, dz},
+			})
+		}
 		if s.tr.active() {
 			s.tr.note(fab.Counters())
 			s.tr.emit(trace.Record{
@@ -422,6 +447,7 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 				DualityGap:          gap,
 				PrimalInfeasibility: res.PrimalInfeasibility,
 				DualInfeasibility:   res.DualInfeasibility,
+				ConeInfeasibility:   res.ConeInfeasibility,
 				Theta:               theta,
 			})
 		}
@@ -430,7 +456,19 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 		if err := sExt.AxpyInPlace(theta, ds); err != nil {
 			return nil, nil, err
 		}
-		clampPositive(x, y, w, z)
+		if conic {
+			clampPositive(x, z)
+			clampOrthantRows(y, ext.socRow)
+			clampOrthantRows(w, ext.socRow)
+			cone.ClampInterior(y, ext.blocks, 1e-12)
+			cone.ClampInterior(w, ext.blocks, 1e-12)
+			if !ext.updateScalings(w, y) {
+				res.Status = lp.StatusNumericalFailure
+				break
+			}
+		} else {
+			clampPositive(x, y, w, z)
+		}
 
 		// Refresh the complementarity diagonals on the fabric: the O(N)
 		// per-iteration write (2(n+m) ≈ 2.7N cells for n = m/3).
@@ -462,6 +500,7 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 			res.PrimalInfeasibility = best.pinf
 			res.DualInfeasibility = best.dinf
 			res.DualityGap = best.gap
+			res.ConeInfeasibility = bestConeInf
 		}
 	}
 	res.X, res.Y, res.W, res.Z = x, y, w, z
@@ -500,7 +539,7 @@ type snapshot struct {
 	x, y, w, z      linalg.Vector
 }
 
-func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
+func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) bool {
 	score := pinf
 	if dinf > score {
 		score = dinf
@@ -509,7 +548,7 @@ func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
 		score = gap
 	}
 	if score >= s.score {
-		return
+		return false
 	}
 	s.ok = true
 	s.score = score
@@ -520,6 +559,7 @@ func (s *snapshot) consider(pinf, dinf, gap float64, x, y, w, z linalg.Vector) {
 	s.y = append(s.y[:0], y...)
 	s.w = append(s.w[:0], w...)
 	s.z = append(s.z[:0], z...)
+	return true
 }
 
 // reset invalidates the snapshot while keeping its buffers, so a pool worker
@@ -627,6 +667,112 @@ func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
 		return r
 	}
 	return r / maxRatio
+}
+
+// stepLengthConic is stepLength for conic systems: x and z take the full
+// componentwise Eq. 11 ratio test, y and w take it on their orthant rows
+// only, and each SOC block contributes its cone-boundary exit ratio instead
+// of per-component ratios — tail components of a cone block may legitimately
+// cross zero.
+//
+//memlp:hotpath
+func stepLengthConic(r float64, e *extended, x, dx, y, dy, w, dw, z, dz linalg.Vector) float64 {
+	maxRatio := ratioFull(0, x, dx)
+	maxRatio = ratioFull(maxRatio, z, dz)
+	maxRatio = ratioOrthant(maxRatio, y, dy, e.socRow)
+	maxRatio = ratioOrthant(maxRatio, w, dw, e.socRow)
+	maxRatio = ratioConePinned(maxRatio, y, dy, e.blocks)
+	maxRatio = ratioConePinned(maxRatio, w, dw, e.blocks)
+	if maxRatio <= 1 {
+		return r
+	}
+	return r / maxRatio
+}
+
+// ratioConePinned folds each SOC block's boundary-exit ratio into maxRatio,
+// with the cone analog of stepLength's representability pin: a block whose
+// interior margin has collapsed far below its own scale is EXCLUDED from the
+// ratio test. At an optimum the active blocks sit exactly on the boundary
+// (complementarity), so their analog-perturbed Newton directions keep
+// pointing outward; without the exclusion the exit ratio grows geometrically
+// (θ ← θ·(1−r) each iteration) and deadlocks every other variable, exactly
+// the scalar deadlock the LP pin prevents. The per-iteration cone clamp
+// keeps excluded blocks representably interior.
+//
+//memlp:hotpath
+func ratioConePinned(maxRatio float64, v, dv linalg.Vector, blocks []cone.Block) float64 {
+	for _, blk := range blocks {
+		s := v[blk.Start : blk.Start+blk.Dim]
+		ds := dv[blk.Start : blk.Start+blk.Dim]
+		pin := 1e-6 * s[0]
+		if pin < 1e-10 {
+			pin = 1e-10
+		}
+		if -cone.Dist(s) <= pin {
+			continue
+		}
+		t := cone.StepToBoundary(s, ds)
+		if t > 0 && !math.IsInf(t, 1) {
+			if ratio := 1 / t; ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	return maxRatio
+}
+
+// ratioFull folds v's componentwise Eq. 11 ratios into maxRatio, with the
+// same representability pin as stepLength.
+//
+//memlp:hotpath
+func ratioFull(maxRatio float64, v, dv linalg.Vector) float64 {
+	pin := 1e-6 * v.Max()
+	if pin < 1e-10 {
+		pin = 1e-10
+	}
+	for i := range v {
+		if dv[i] < 0 && v[i] > pin {
+			if ratio := -dv[i] / v[i]; ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	return maxRatio
+}
+
+// ratioOrthant is ratioFull restricted to rows outside SOC blocks.
+//
+//memlp:hotpath
+func ratioOrthant(maxRatio float64, v, dv linalg.Vector, socRow []int) float64 {
+	pin := 1e-6 * v.Max()
+	if pin < 1e-10 {
+		pin = 1e-10
+	}
+	for i := range v {
+		if socRow[i] >= 0 {
+			continue
+		}
+		if dv[i] < 0 && v[i] > pin {
+			if ratio := -dv[i] / v[i]; ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	return maxRatio
+}
+
+// clampOrthantRows floors the orthant rows of a constraint-space vector at
+// the representability floor, leaving SOC-block components untouched (their
+// tails are legitimately signed; cone.ClampInterior handles the blocks).
+//
+//memlp:hotpath
+func clampOrthantRows(v linalg.Vector, socRow []int) {
+	const floor = 1e-12
+	for i, x := range v {
+		if socRow[i] < 0 && x < floor {
+			v[i] = floor
+		}
+	}
 }
 
 // axpyAll applies v ← v + θ·dv to each (v, dv) pair of the flat argument

@@ -123,6 +123,7 @@ func (t *traceState) finish(res *Result) []trace.Record {
 		DualityGap:          res.DualityGap,
 		PrimalInfeasibility: res.PrimalInfeasibility,
 		DualInfeasibility:   res.DualInfeasibility,
+		ConeInfeasibility:   res.ConeInfeasibility,
 		Objective:           res.Objective,
 		Problem:             t.problem,
 		NoiseEpoch:          t.epoch,

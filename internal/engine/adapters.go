@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/memlp/memlp/internal/core"
@@ -28,8 +29,34 @@ type Crossbar struct{ S *core.Solver }
 // Name implements Backend.
 func (b Crossbar) Name() string { return "crossbar" }
 
-// Solve implements Backend.
+// Solve implements Backend. Conic problems are rejected: the LP engine's
+// contract is the scalar complementarity fabric layout, and keeping it
+// cone-free guarantees its golden traces stay byte-stable. SOC blocks go
+// through the dedicated conic engine instead.
 func (b Crossbar) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	if p.IsConic() {
+		return nil, fmt.Errorf("engine %s: %w (use the conic engine)", b.Name(), lp.ErrConicUnsupported)
+	}
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return fromCore(res, b.Name()), err
+}
+
+// Conic adapts core.Solver for conic (LP + second-order cone) problems: the
+// same Algorithm 1 extended system, with the SOC rows carrying dense
+// Nesterov–Todd blocks instead of scalar complementarity diagonals. Pure LPs
+// are accepted too (the all-orthant degenerate case takes the bit-identical
+// LP path). Batching is not supported: the shared-matrix pool contract is
+// LP-only.
+type Conic struct{ S *core.Solver }
+
+// Name implements Backend.
+func (b Conic) Name() string { return "conic" }
+
+// Solve implements Backend.
+func (b Conic) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 	res, err := b.S.SolveContext(ctx, p)
 	if res == nil {
 		return nil, err
@@ -76,6 +103,7 @@ func fromCore(res *core.Result, name string) *Result {
 		PrimalInfeasibility: res.PrimalInfeasibility,
 		DualInfeasibility:   res.DualInfeasibility,
 		DualityGap:          res.DualityGap,
+		ConeInfeasibility:   res.ConeInfeasibility,
 		WallTime:            res.WallTime,
 		Analog:              true,
 		Counters:            res.Counters,
@@ -113,6 +141,7 @@ func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		PrimalInfeasibility: res.PrimalInfeasibility,
 		DualInfeasibility:   res.DualInfeasibility,
 		DualityGap:          res.DualityGap,
+		ConeInfeasibility:   res.ConeInfeasibility,
 		WallTime:            time.Since(start),
 		Trace:               stampEngine(res.Trace, b.Name()),
 	}, err

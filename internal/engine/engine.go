@@ -30,6 +30,9 @@ type Result struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// ConeInfeasibility is the worst second-order-cone violation of the
+	// constraint slack (conic problems only; always 0 for pure LPs).
+	ConeInfeasibility float64
 
 	// WallTime is the measured duration of this individual solve.
 	WallTime time.Duration

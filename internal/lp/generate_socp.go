@@ -1,0 +1,124 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/memlp/memlp/internal/linalg"
+)
+
+// SOCGenConfig parameterizes random SOCP instance generation: the LP layout
+// of GenConfig plus a trailing run of second-order cone blocks. Rows are laid
+// out orthant-first, then Blocks cones of BlockDim rows each, so
+// Constraints = orthant rows + Blocks·BlockDim with at least one orthant row.
+type SOCGenConfig struct {
+	GenConfig
+	// Blocks is the number of second-order cone blocks; zero means 1.
+	Blocks int
+	// BlockDim is the rows per block (axis + tail); zero means 3, min 2.
+	BlockDim int
+}
+
+func (g SOCGenConfig) withDefaults() SOCGenConfig {
+	g.GenConfig = g.GenConfig.withDefaults()
+	if g.Blocks == 0 {
+		g.Blocks = 1
+	}
+	if g.BlockDim == 0 {
+		g.BlockDim = 3
+	}
+	return g
+}
+
+func (g SOCGenConfig) validate() error {
+	if err := g.GenConfig.validate(); err != nil {
+		return err
+	}
+	if g.Blocks < 1 {
+		return fmt.Errorf("%w: need ≥ 1 soc block, got %d", ErrInvalid, g.Blocks)
+	}
+	if g.BlockDim < 2 {
+		return fmt.Errorf("%w: soc block dimension %d < 2", ErrInvalid, g.BlockDim)
+	}
+	if g.Blocks*g.BlockDim >= g.Constraints {
+		return fmt.Errorf("%w: %d soc rows leave no orthant row among %d constraints",
+			ErrInvalid, g.Blocks*g.BlockDim, g.Constraints)
+	}
+	return nil
+}
+
+// GenerateFeasibleSOCP returns a random SOCP that is feasible and bounded by
+// construction, mirroring GenerateFeasible's known-solution recipe under
+// conic weak duality (bᵀy − cᵀx = yᵀs + xᵀz ≥ 0 for y, s ∈ K, x, z ≥ 0):
+//
+//   - a strictly interior primal x₀ > 0 is drawn, and b is set so the slack
+//     s₀ = b − A·x₀ is strictly interior to K (positive on orthant rows,
+//     axis > ‖tail‖ on cone blocks);
+//   - a strictly interior dual y₀ ∈ int K is drawn and c = Aᵀy₀ − margin
+//     with margin > 0, making (y₀, z₀ = Aᵀy₀ − c > 0) strictly dual-feasible.
+func GenerateFeasibleSOCP(cfg SOCGenConfig) (*Problem, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m, n := cfg.Constraints, cfg.Variables
+	orthant := m - cfg.Blocks*cfg.BlockDim
+
+	cones := []Cone{{Type: ConeNonNeg, Dim: orthant}}
+	for k := 0; k < cfg.Blocks; k++ {
+		cones = append(cones, Cone{Type: ConeSOC, Dim: cfg.BlockDim})
+	}
+
+	a := randomMatrix(r, m, n, cfg.NegativeFraction)
+
+	x0 := linalg.NewVector(n)
+	for i := range x0 {
+		x0[i] = 0.5 + r.Float64()*4.5
+	}
+	ax0, err := a.MatVec(x0)
+	if err != nil {
+		return nil, err
+	}
+	b := linalg.NewVector(m)
+	for i := 0; i < orthant; i++ {
+		b[i] = ax0[i] + 0.5 + r.Float64()*4.5
+	}
+	for k := 0; k < cfg.Blocks; k++ {
+		start := orthant + k*cfg.BlockDim
+		// Draw an interior slack for the block, then set b = A·x₀ + s.
+		var tailSq float64
+		for i := 1; i < cfg.BlockDim; i++ {
+			s := r.Float64()*4 - 2
+			tailSq += s * s
+			b[start+i] = ax0[start+i] + s
+		}
+		b[start] = ax0[start] + math.Sqrt(tailSq) + 0.5 + r.Float64()*4.5
+	}
+
+	y0 := linalg.NewVector(m)
+	for i := 0; i < orthant; i++ {
+		y0[i] = 0.5 + r.Float64()*1.5
+	}
+	for k := 0; k < cfg.Blocks; k++ {
+		start := orthant + k*cfg.BlockDim
+		var tailSq float64
+		for i := 1; i < cfg.BlockDim; i++ {
+			y0[start+i] = r.Float64()*2 - 1
+			tailSq += y0[start+i] * y0[start+i]
+		}
+		y0[start] = math.Sqrt(tailSq) + 0.5 + r.Float64()*1.5
+	}
+	aty0, err := a.MatVecTranspose(y0)
+	if err != nil {
+		return nil, err
+	}
+	c := linalg.NewVector(n)
+	for j := range c {
+		c[j] = aty0[j] - (0.5 + r.Float64()*1.5)
+	}
+
+	name := fmt.Sprintf("socp-m%d-n%d-k%dx%d-s%d", m, n, cfg.Blocks, cfg.BlockDim, cfg.Seed)
+	return NewConic(name, c, a, b, cones)
+}

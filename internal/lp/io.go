@@ -13,10 +13,17 @@ import (
 
 // jsonProblem is the wire representation for JSON encoding.
 type jsonProblem struct {
-	Name string      `json:"name,omitempty"`
-	C    []float64   `json:"c"`
-	A    [][]float64 `json:"a"`
-	B    []float64   `json:"b"`
+	Name  string      `json:"name,omitempty"`
+	C     []float64   `json:"c"`
+	A     [][]float64 `json:"a"`
+	B     []float64   `json:"b"`
+	Cones []jsonCone  `json:"cones,omitempty"`
+}
+
+// jsonCone mirrors Cone with the textual type keyword ("nonneg"/"soc").
+type jsonCone struct {
+	Type string `json:"type"`
+	Dim  int    `json:"dim"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -25,7 +32,11 @@ func (p *Problem) MarshalJSON() ([]byte, error) {
 	for i := range rows {
 		rows[i] = p.A.Row(i)
 	}
-	return json.Marshal(jsonProblem{Name: p.Name, C: p.C, A: rows, B: p.B})
+	var cones []jsonCone
+	for _, c := range p.Cones {
+		cones = append(cones, jsonCone{Type: c.Type.String(), Dim: c.Dim})
+	}
+	return json.Marshal(jsonProblem{Name: p.Name, C: p.C, A: rows, B: p.B, Cones: cones})
 }
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -38,12 +49,31 @@ func (p *Problem) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("lp: decode matrix: %w", err)
 	}
-	tmp := Problem{Name: jp.Name, C: jp.C, A: a, B: jp.B}
+	var cones []Cone
+	for i, jc := range jp.Cones {
+		t, err := parseConeType(jc.Type)
+		if err != nil {
+			return fmt.Errorf("%w: cone %d: %v", ErrInvalid, i, err)
+		}
+		cones = append(cones, Cone{Type: t, Dim: jc.Dim})
+	}
+	tmp := Problem{Name: jp.Name, C: jp.C, A: a, B: jp.B, Cones: cones}
 	if err := tmp.Validate(); err != nil {
 		return err
 	}
 	*p = tmp
 	return nil
+}
+
+func parseConeType(s string) (ConeType, error) {
+	switch s {
+	case "nonneg":
+		return ConeNonNeg, nil
+	case "soc":
+		return ConeSOC, nil
+	default:
+		return 0, fmt.Errorf("unknown cone type %q", s)
+	}
 }
 
 // WriteText writes the problem in the compact textual format accepted by
@@ -54,8 +84,13 @@ func (p *Problem) UnmarshalJSON(data []byte) error {
 //	maximize 3 2
 //	subject 1 1 <= 4
 //	subject 1 3 <= 6
+//	cone nonneg 1
+//	cone soc 2
 //
 // Each "subject" line gives one row of A followed by "<=" and the bound.
+// Optional "cone" lines partition the constraint rows, in order, into
+// nonnegative-orthant rows and second-order cone blocks; without any the
+// problem is a pure LP.
 func (p *Problem) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if p.Name != "" {
@@ -73,6 +108,9 @@ func (p *Problem) WriteText(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, " <= %g\n", p.B[i])
 	}
+	for _, c := range p.Cones {
+		fmt.Fprintf(bw, "cone %s %d\n", c.Type, c.Dim)
+	}
 	return bw.Flush()
 }
 
@@ -81,10 +119,11 @@ func ReadText(r io.Reader) (*Problem, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var (
-		name string
-		c    linalg.Vector
-		rows [][]float64
-		b    linalg.Vector
+		name  string
+		c     linalg.Vector
+		rows  [][]float64
+		b     linalg.Vector
+		cones []Cone
 	)
 	lineNo := 0
 	for sc.Scan() {
@@ -127,6 +166,19 @@ func ReadText(r io.Reader) (*Problem, error) {
 			}
 			rows = append(rows, row)
 			b = append(b, bound)
+		case "cone":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: want 'cone <nonneg|soc> <dim>'", ErrInvalid, lineNo)
+			}
+			t, err := parseConeType(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrInvalid, lineNo, err)
+			}
+			dim, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad cone dimension %q", ErrInvalid, lineNo, fields[2])
+			}
+			cones = append(cones, Cone{Type: t, Dim: dim})
 		default:
 			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrInvalid, lineNo, fields[0])
 		}
@@ -144,7 +196,7 @@ func ReadText(r io.Reader) (*Problem, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	return New(name, c, a, b)
+	return NewConic(name, c, a, b, cones)
 }
 
 func parseFloats(fields []string) ([]float64, error) {

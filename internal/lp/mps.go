@@ -241,8 +241,13 @@ func ReadMPS(r io.Reader) (*Problem, error) {
 
 // WriteMPS serializes the problem in MPS format (as a minimization of −cᵀx,
 // with all constraints as L rows). ReadMPS(WriteMPS(p)) round-trips the
-// canonical form exactly up to row/column naming.
+// canonical form exactly up to row/column naming. MPS has no cone sections;
+// conic problems are rejected with ErrConicUnsupported — use WriteText or
+// JSON for those.
 func (p *Problem) WriteMPS(w io.Writer) error {
+	if p.IsConic() {
+		return ErrConicUnsupported
+	}
 	bw := bufio.NewWriter(w)
 	name := p.Name
 	if name == "" {

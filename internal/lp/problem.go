@@ -10,7 +10,9 @@ package lp
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/linalg"
 )
 
@@ -19,8 +21,11 @@ var (
 	ErrInvalid = errors.New("lp: invalid problem")
 )
 
-// Problem is a linear program in canonical form: maximize cᵀx subject to
-// A·x ≤ b and x ≥ 0.
+// Problem is an optimization problem in conic canonical form: maximize cᵀx
+// subject to b − A·x ∈ K and x ≥ 0, where K is an ordered product of
+// nonnegative-orthant rows and second-order cone blocks described by Cones.
+// A nil (or all-orthant) cone list is the degenerate LP case b − A·x ≥ 0,
+// i.e. the classic A·x ≤ b — every pre-conic call site keeps working.
 type Problem struct {
 	// Name optionally labels the instance.
 	Name string
@@ -30,6 +35,9 @@ type Problem struct {
 	A *linalg.Matrix
 	// B is the right-hand side (length m).
 	B linalg.Vector
+	// Cones partitions the m constraint rows into cone blocks, in row
+	// order. Nil means all rows are orthant rows (a pure LP).
+	Cones []Cone
 }
 
 // New constructs a validated problem. The inputs are used directly (not
@@ -60,6 +68,11 @@ func (p *Problem) Validate() error {
 	if !p.C.AllFinite() || !p.B.AllFinite() || !p.A.AllFinite() {
 		return fmt.Errorf("%w: non-finite data", ErrInvalid)
 	}
+	if p.Cones != nil {
+		if err := validateCones(p.Cones, m); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -74,8 +87,11 @@ func (p *Problem) Objective(x linalg.Vector) (float64, error) {
 	return p.C.Dot(x)
 }
 
-// IsFeasible reports whether x satisfies A·x ≤ b·(1+tol) element-wise (the
-// paper's relaxed α-check from §3.2, with α = 1+tol) and x ≥ −tol.
+// IsFeasible reports whether x satisfies b − A·x ∈ K within tolerance (the
+// paper's relaxed α-check from §3.2, with α = 1+tol) and x ≥ −tol. For
+// orthant rows the check is the classic A·x ≤ b + tol·(1+|b|); for
+// second-order cone blocks the slack s = b − A·x must satisfy
+// ‖s̄‖ − s₀ ≤ tol·(1+‖s̄‖).
 func (p *Problem) IsFeasible(x linalg.Vector, tol float64) (bool, error) {
 	if len(x) != p.NumVariables() {
 		return false, fmt.Errorf("%w: point has %d elements for %d variables", ErrInvalid, len(x), p.NumVariables())
@@ -89,7 +105,26 @@ func (p *Problem) IsFeasible(x linalg.Vector, tol float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	socRows := make(map[int]bool)
+	for _, blk := range p.SOCBlocks() {
+		slack := make([]float64, blk.Dim)
+		var tailSq float64
+		for i := 0; i < blk.Dim; i++ {
+			row := blk.Start + i
+			socRows[row] = true
+			slack[i] = p.B[row] - ax[row]
+			if i > 0 {
+				tailSq += slack[i] * slack[i]
+			}
+		}
+		if d := cone.Dist(slack); d > tol*(1+math.Sqrt(tailSq)) {
+			return false, nil
+		}
+	}
 	for i, v := range ax {
+		if socRows[i] {
+			continue
+		}
 		bound := p.B[i]
 		slackTol := tol * (1 + absf(bound))
 		if v > bound+slackTol {
@@ -119,7 +154,14 @@ func (p *Problem) Slack(x linalg.Vector) (linalg.Vector, error) {
 //
 // The optimal objective of the returned problem is the negation of the dual
 // optimum, which by strong duality equals −(primal optimum).
+//
+// Dual is defined for the LP case only: the conic dual constrains y to the
+// cone K rather than the orthant, which this row-cone canonical form cannot
+// express. It returns nil for conic problems.
 func (p *Problem) Dual() *Problem {
+	if p.IsConic() {
+		return nil
+	}
 	return &Problem{
 		Name: p.Name + "-dual",
 		C:    p.B.Scale(-1),
@@ -130,7 +172,7 @@ func (p *Problem) Dual() *Problem {
 
 // Clone returns a deep copy.
 func (p *Problem) Clone() *Problem {
-	return &Problem{Name: p.Name, C: p.C.Clone(), A: p.A.Clone(), B: p.B.Clone()}
+	return &Problem{Name: p.Name, C: p.C.Clone(), A: p.A.Clone(), B: p.B.Clone(), Cones: cloneCones(p.Cones)}
 }
 
 func absf(x float64) float64 {

@@ -1,6 +1,9 @@
 package pdip
 
 import (
+	"fmt"
+
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
 )
@@ -17,7 +20,71 @@ type workspace struct {
 	rhs        linalg.Vector
 	lu         *linalg.LU
 	dw, dz     linalg.Vector
+
+	// Conic state, nil/empty for pure LPs: the second-order cone blocks of
+	// the constraint rows, a per-row block index (−1 for orthant rows), one
+	// NT scaling per block, and two length-m scratch vectors for the
+	// complementarity residual µe − λ∘λ and its P⁻¹ image.
+	blocks   []cone.Block
+	socRow   []int
+	scalings []*cone.Scaling
+	coneRc   linalg.Vector
+	conePinv linalg.Vector
 }
+
+// prepareCones (re)builds the conic bookkeeping for p; called by prepare.
+func (ws *workspace) prepareCones(p *lp.Problem) {
+	ws.blocks = p.SOCBlocks()
+	ws.socRow = nil
+	ws.scalings = nil
+	if len(ws.blocks) == 0 {
+		return
+	}
+	m := ws.m
+	ws.socRow = make([]int, m)
+	for i := range ws.socRow {
+		ws.socRow[i] = -1
+	}
+	for k, blk := range ws.blocks {
+		ws.scalings = append(ws.scalings, cone.NewScaling(blk.Dim))
+		for i := 0; i < blk.Dim; i++ {
+			ws.socRow[blk.Start+i] = k
+		}
+	}
+	ws.coneRc = linalg.NewVector(m)
+	ws.conePinv = linalg.NewVector(m)
+}
+
+// updateScalings refreshes every block's NT scaling from the current (w, y)
+// iterate. It reports false when a block has lost interiority, which the
+// caller must surface as a numerical failure.
+func (ws *workspace) updateScalings(w, y linalg.Vector) bool {
+	for k, blk := range ws.blocks {
+		end := blk.Start + blk.Dim
+		if !ws.scalings[k].Update(w[blk.Start:end], y[blk.Start:end]) {
+			return false
+		}
+	}
+	return true
+}
+
+// coneResiduals fills coneRc with the centered complementarity residual
+// µe − λ∘λ on the cone rows (e is the Jordan identity: 1 on each block's
+// axis row, 0 on tail rows).
+func (ws *workspace) coneResiduals(mu float64) {
+	for k, blk := range ws.blocks {
+		rc := ws.coneRc[blk.Start : blk.Start+blk.Dim]
+		ws.scalings[k].LambdaSq(rc)
+		rc[0] = mu - rc[0]
+		for i := 1; i < blk.Dim; i++ {
+			rc[i] = -rc[i]
+		}
+	}
+}
+
+// errConeScaling wraps linalg.ErrSingular so callers map a degenerate NT
+// scaling onto the same numerical-failure path as a singular Newton matrix.
+var errConeScaling = fmt.Errorf("%w: degenerate cone scaling", linalg.ErrSingular)
 
 // prepare (re)sizes the buffers for problem p and fills the static blocks of
 // the Newton matrix (the A/Aᵀ/±I blocks, which do not change across
@@ -41,6 +108,7 @@ func (ws *workspace) prepare(p *lp.Problem, backend NewtonBackend) {
 	} else {
 		ws.mat.Zero()
 	}
+	ws.prepareCones(p)
 
 	mat := ws.mat
 	if backend == NewtonFull {
@@ -93,10 +161,26 @@ func (ws *workspace) solveNewtonFull(x, y, w, z, rho, sigma linalg.Vector, mu fl
 		big.Set(m+n+i, i, z[i])
 		big.Set(m+n+i, n+2*m+i, x[i])
 	}
-	// Block row 4: W·Δy + Y·Δw = µ1 − YWe.
+	// Block row 4, orthant rows: W·Δy + Y·Δw = µ1 − YWe. Cone rows carry
+	// the NT-scaled linearization instead: P·Δw + Q·Δy = µe − λ∘λ, with the
+	// dense d×d blocks P = Arw(λ)W⁻¹ and Q = Arw(λ)W replacing the scalar
+	// diagonals (the d = 1 degenerate case is exactly P = y, Q = w).
 	for i := 0; i < m; i++ {
+		if ws.socRow != nil && ws.socRow[i] >= 0 {
+			continue
+		}
 		big.Set(m+2*n+i, n+i, w[i])
 		big.Set(m+2*n+i, n+m+i, y[i])
+	}
+	for k, blk := range ws.blocks {
+		sc, d := ws.scalings[k], blk.Dim
+		for i := 0; i < d; i++ {
+			row := big.RawRow(m + 2*n + blk.Start + i)
+			for j := 0; j < d; j++ {
+				row[n+blk.Start+j] = sc.Q[i*d+j]
+				row[n+m+blk.Start+j] = sc.P[i*d+j]
+			}
+		}
 	}
 
 	rhs := ws.rhs
@@ -106,7 +190,18 @@ func (ws *workspace) solveNewtonFull(x, y, w, z, rho, sigma linalg.Vector, mu fl
 		rhs[m+n+i] = mu - x[i]*z[i]
 	}
 	for i := 0; i < m; i++ {
+		if ws.socRow != nil && ws.socRow[i] >= 0 {
+			continue
+		}
 		rhs[m+2*n+i] = mu - y[i]*w[i]
+	}
+	if len(ws.blocks) > 0 {
+		ws.coneResiduals(mu)
+		for _, blk := range ws.blocks {
+			for i := 0; i < blk.Dim; i++ {
+				rhs[m+2*n+blk.Start+i] = ws.coneRc[blk.Start+i]
+			}
+		}
 	}
 
 	ws.lu, err = linalg.FactorizeInto(ws.lu, big)
@@ -132,6 +227,13 @@ func (ws *workspace) solveNewtonFull(x, y, w, z, rho, sigma linalg.Vector, mu fl
 //
 // solved with dense LU on the smaller matrix. The returned directions are
 // views into workspace storage, valid until the next solveNewton* call.
+// For cone rows the same elimination runs through the NT blocks: from
+// P·Δw + Q·Δy = µe − λ∘λ,
+//
+//	Δw = P⁻¹(µe − λ∘λ) − W²·Δy      (P⁻¹Q = W²)
+//
+// so row block (n+blk, n+blk) carries the dense −W² in place of the scalar
+// −Y⁻¹W diagonal and the rhs subtracts P⁻¹(µe − λ∘λ).
 func (ws *workspace) solveNewtonReduced(x, y, w, z, rho, sigma linalg.Vector, mu float64) (dx, dy, dw, dz linalg.Vector, err error) {
 	n, m := ws.n, ws.m
 	kkt := ws.mat
@@ -140,7 +242,19 @@ func (ws *workspace) solveNewtonReduced(x, y, w, z, rho, sigma linalg.Vector, mu
 		kkt.Set(i, i, z[i]/x[i])
 	}
 	for i := 0; i < m; i++ {
+		if ws.socRow != nil && ws.socRow[i] >= 0 {
+			continue
+		}
 		kkt.Set(n+i, n+i, -w[i]/y[i])
+	}
+	for k, blk := range ws.blocks {
+		sc, d := ws.scalings[k], blk.Dim
+		for i := 0; i < d; i++ {
+			row := kkt.RawRow(n + blk.Start + i)
+			for j := 0; j < d; j++ {
+				row[n+blk.Start+j] = -sc.Wsq[i*d+j]
+			}
+		}
 	}
 
 	rhs := ws.rhs
@@ -148,7 +262,22 @@ func (ws *workspace) solveNewtonReduced(x, y, w, z, rho, sigma linalg.Vector, mu
 		rhs[i] = sigma[i] + (mu-x[i]*z[i])/x[i]
 	}
 	for i := 0; i < m; i++ {
+		if ws.socRow != nil && ws.socRow[i] >= 0 {
+			continue
+		}
 		rhs[n+i] = rho[i] - (mu-y[i]*w[i])/y[i]
+	}
+	if len(ws.blocks) > 0 {
+		ws.coneResiduals(mu)
+		for k, blk := range ws.blocks {
+			end := blk.Start + blk.Dim
+			if !ws.scalings[k].SolveP(ws.conePinv[blk.Start:end], ws.coneRc[blk.Start:end]) {
+				return nil, nil, nil, nil, errConeScaling
+			}
+			for i := blk.Start; i < end; i++ {
+				rhs[n+i] = rho[i] - ws.conePinv[i]
+			}
+		}
 	}
 
 	ws.lu, err = linalg.FactorizeInto(ws.lu, kkt)
@@ -168,7 +297,20 @@ func (ws *workspace) solveNewtonReduced(x, y, w, z, rho, sigma linalg.Vector, mu
 	}
 	dw = ws.dw
 	for i := 0; i < m; i++ {
+		if ws.socRow != nil && ws.socRow[i] >= 0 {
+			continue
+		}
 		dw[i] = (mu-y[i]*w[i])/y[i] - w[i]/y[i]*dy[i]
+	}
+	for k, blk := range ws.blocks {
+		sc, d := ws.scalings[k], blk.Dim
+		for i := 0; i < d; i++ {
+			s := ws.conePinv[blk.Start+i]
+			for j := 0; j < d; j++ {
+				s -= sc.Wsq[i*d+j] * dy[blk.Start+j]
+			}
+			dw[blk.Start+i] = s
+		}
 	}
 	return dx, dy, dw, dz, nil
 }

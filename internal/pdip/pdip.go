@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/memlp/memlp/internal/cone"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/trace"
@@ -80,6 +81,9 @@ type Result struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// ConeInfeasibility is the largest second-order-cone violation of the
+	// slack b − A·x over the problem's cone blocks; always 0 for pure LPs.
+	ConeInfeasibility float64
 	// Trace is the recorded iteration trajectory (oldest first); non-nil
 	// only when the solver was built WithTrace.
 	Trace []trace.Record
@@ -144,11 +148,27 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	rho, sigma := s.ws.rho, s.ws.sigma
 
 	// Arbitrary strictly positive start (§3.1: "initialized as arbitrary
-	// vectors"); all-ones is the conventional choice.
+	// vectors"); all-ones is the conventional choice. Cone blocks of w and
+	// y start at the Jordan identity e = (1, 0, …, 0) instead — all-ones is
+	// not interior to a second-order cone of dimension ≥ 2.
 	x := onesVector(n)
 	w := onesVector(m)
 	y := onesVector(m)
 	z := onesVector(n)
+	blocks := s.ws.blocks
+	conic := len(blocks) > 0
+	nu := float64(n + m)
+	if conic {
+		socRows := 0
+		for _, blk := range blocks {
+			socRows += blk.Dim
+		}
+		// µ's degree: n orthant pairs on x∘z, one orthant pair per
+		// orthant row, and rank 1 per second-order cone block.
+		nu = float64(n + (m - socRows) + len(blocks))
+		cone.InitInterior(w, blocks)
+		cone.InitInterior(y, blocks)
+	}
 
 	res := &Result{Status: lp.StatusIterationLimit}
 	var ctxErr error
@@ -171,6 +191,9 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		res.PrimalInfeasibility = rho.NormInf()
 		res.DualInfeasibility = sigma.NormInf()
 		res.DualityGap = gap
+		if conic {
+			res.ConeInfeasibility = slackConeInfeasibility(&s.ws, rho, w)
+		}
 
 		if res.PrimalInfeasibility <= s.tol.PrimalFeasTol &&
 			res.DualInfeasibility <= s.tol.DualFeasTol &&
@@ -187,8 +210,12 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 			break
 		}
 
-		mu := s.tol.Delta * gap / float64(n+m) // Eq. 8
+		mu := s.tol.Delta * gap / nu // Eq. 8
 
+		if conic && !s.ws.updateScalings(w, y) {
+			res.Status = lp.StatusNumericalFailure
+			break
+		}
 		var dx, dy, dw, dz linalg.Vector
 		var err error
 		switch s.backend {
@@ -205,9 +232,14 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 			return nil, err
 		}
 
-		theta := stepLength(s.tol.StepScale, [][2]linalg.Vector{
-			{x, dx}, {y, dy}, {w, dw}, {z, dz},
-		})
+		var theta float64
+		if conic {
+			theta = stepLengthConic(s.tol.StepScale, &s.ws, x, dx, y, dy, w, dw, z, dz)
+		} else {
+			theta = stepLength(s.tol.StepScale, [][2]linalg.Vector{
+				{x, dx}, {y, dy}, {w, dw}, {z, dz},
+			})
+		}
 		if s.ring != nil {
 			s.ring.Emit(trace.Record{
 				Event:               trace.EventIteration,
@@ -217,6 +249,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 				DualityGap:          gap,
 				PrimalInfeasibility: res.PrimalInfeasibility,
 				DualInfeasibility:   res.DualInfeasibility,
+				ConeInfeasibility:   res.ConeInfeasibility,
 				Theta:               theta,
 			})
 		}
@@ -233,9 +266,16 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 			return nil, err
 		}
 		clampPositive(x)
-		clampPositive(y)
-		clampPositive(w)
 		clampPositive(z)
+		if conic {
+			clampPositiveOrthant(y, s.ws.socRow)
+			clampPositiveOrthant(w, s.ws.socRow)
+			cone.ClampInterior(y, blocks, 1e-14)
+			cone.ClampInterior(w, blocks, 1e-14)
+		} else {
+			clampPositive(y)
+			clampPositive(w)
+		}
 	}
 
 	res.X, res.Y, res.W, res.Z = x, y, w, z
@@ -253,6 +293,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 			DualityGap:          res.DualityGap,
 			PrimalInfeasibility: res.PrimalInfeasibility,
 			DualInfeasibility:   res.DualInfeasibility,
+			ConeInfeasibility:   res.ConeInfeasibility,
 			Objective:           res.Objective,
 		})
 		res.Trace = s.ring.Snapshot()
@@ -309,6 +350,55 @@ func stepLength(r float64, pairs [][2]linalg.Vector) float64 {
 	return r / maxRatio
 }
 
+// stepLengthConic extends the Eq. 11 ratio test to cone blocks: x and z use
+// the componentwise ratio everywhere, y and w only on orthant rows, and each
+// cone block contributes 1/θ_exit from the exact quadratic boundary step.
+func stepLengthConic(r float64, ws *workspace, x, dx, y, dy, w, dw, z, dz linalg.Vector) float64 {
+	maxRatio := 0.0
+	scan := func(v, dv linalg.Vector, orthantOnly bool) {
+		for i := range v {
+			if orthantOnly && ws.socRow[i] >= 0 {
+				continue
+			}
+			if dv[i] < 0 && v[i] > 0 {
+				if ratio := -dv[i] / v[i]; ratio > maxRatio {
+					maxRatio = ratio
+				}
+			}
+		}
+	}
+	scan(x, dx, false)
+	scan(z, dz, false)
+	scan(y, dy, true)
+	scan(w, dw, true)
+	if ratio := cone.MaxStepRatio(y, dy, ws.blocks); ratio > maxRatio {
+		maxRatio = ratio
+	}
+	if ratio := cone.MaxStepRatio(w, dw, ws.blocks); ratio > maxRatio {
+		maxRatio = ratio
+	}
+	if maxRatio <= 1 {
+		return r
+	}
+	return r / maxRatio
+}
+
+// slackConeInfeasibility measures the worst cone violation of the true slack
+// b − A·x = ρ + w over the cone blocks, using the workspace scratch.
+func slackConeInfeasibility(ws *workspace, rho, w linalg.Vector) float64 {
+	var worst float64
+	for _, blk := range ws.blocks {
+		s := ws.conePinv[blk.Start : blk.Start+blk.Dim]
+		for i := range s {
+			s[i] = rho[blk.Start+i] + w[blk.Start+i]
+		}
+		if d := cone.Dist(s); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // clampPositive nudges non-positive entries to a tiny positive value; the
 // damped step keeps variables positive in exact arithmetic, and this guards
 // the X⁻¹, Y⁻¹ scalings against rounding.
@@ -316,6 +406,18 @@ func clampPositive(v linalg.Vector) {
 	const floor = 1e-14
 	for i, x := range v {
 		if x < floor {
+			v[i] = floor
+		}
+	}
+}
+
+// clampPositiveOrthant is clampPositive restricted to orthant rows; cone
+// rows are restored by cone.ClampInterior instead (tail components of a
+// second-order cone block are legitimately negative).
+func clampPositiveOrthant(v linalg.Vector, socRow []int) {
+	const floor = 1e-14
+	for i, x := range v {
+		if socRow[i] < 0 && x < floor {
 			v[i] = floor
 		}
 	}

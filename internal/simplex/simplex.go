@@ -155,6 +155,11 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Simplex pivots over a polyhedral tableau; second-order cones have no
+	// vertex structure to pivot on.
+	if p.IsConic() {
+		return nil, fmt.Errorf("simplex: %w", lp.ErrConicUnsupported)
+	}
 	if s.ring != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()

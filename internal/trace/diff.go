@@ -61,6 +61,7 @@ func Diff(got, want []Record, tol float64) []string {
 		diffFloat(add, pre, "gap", g.DualityGap, w.DualityGap, tol)
 		diffFloat(add, pre, "pinf", g.PrimalInfeasibility, w.PrimalInfeasibility, tol)
 		diffFloat(add, pre, "dinf", g.DualInfeasibility, w.DualInfeasibility, tol)
+		diffFloat(add, pre, "cone_inf", g.ConeInfeasibility, w.ConeInfeasibility, tol)
 		diffFloat(add, pre, "theta", g.Theta, w.Theta, tol)
 		diffFloat(add, pre, "objective", g.Objective, w.Objective, tol)
 		if g.WriteRetries != w.WriteRetries {

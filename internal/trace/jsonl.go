@@ -50,6 +50,7 @@ type jsonRecord struct {
 	DualityGap          jsonFloat `json:"gap"`
 	PrimalInfeasibility jsonFloat `json:"pinf"`
 	DualInfeasibility   jsonFloat `json:"dinf"`
+	ConeInfeasibility   jsonFloat `json:"cone_inf,omitempty"`
 	Theta               jsonFloat `json:"theta"`
 	Objective           jsonFloat `json:"objective"`
 
@@ -70,6 +71,7 @@ func toJSON(r Record) jsonRecord {
 		DualityGap:          jsonFloat(r.DualityGap),
 		PrimalInfeasibility: jsonFloat(r.PrimalInfeasibility),
 		DualInfeasibility:   jsonFloat(r.DualInfeasibility),
+		ConeInfeasibility:   jsonFloat(r.ConeInfeasibility),
 		Theta:               jsonFloat(r.Theta),
 		Objective:           jsonFloat(r.Objective),
 		WriteRetries:        r.WriteRetries,
@@ -90,6 +92,7 @@ func fromJSON(j jsonRecord) Record {
 		DualityGap:          float64(j.DualityGap),
 		PrimalInfeasibility: float64(j.PrimalInfeasibility),
 		DualInfeasibility:   float64(j.DualInfeasibility),
+		ConeInfeasibility:   float64(j.ConeInfeasibility),
 		Theta:               float64(j.Theta),
 		Objective:           float64(j.Objective),
 		WriteRetries:        j.WriteRetries,

@@ -71,6 +71,10 @@ type Record struct {
 	PrimalInfeasibility float64
 	// DualInfeasibility is ‖Aᵀy + z − c‖∞ scaled.
 	DualInfeasibility float64
+	// ConeInfeasibility is the largest second-order-cone violation
+	// max(0, ‖s̄‖ − s₀) of the slack s = b − A·x over the problem's cone
+	// blocks. Always 0 for pure LPs, so existing traces are unchanged.
+	ConeInfeasibility float64
 	// Theta is the damped step length taken this iteration.
 	Theta float64
 	// Objective is cᵀx (for simplex pivots, the tableau objective row).

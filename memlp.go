@@ -17,6 +17,11 @@
 //     systems per iteration for crossbar-size-limited deployments.
 //   - EnginePDIP — the software primal–dual interior-point baseline.
 //   - EngineSimplex — the classic two-phase simplex baseline.
+//   - EngineConic — Algorithm 1 generalized to conic problems: constraint
+//     rows may be grouped into second-order cones (NewConicProblem), opening
+//     SOCP workloads — portfolio optimization, robust regression — on the
+//     same fabric. Pure LPs are the all-orthant degenerate case and take the
+//     bit-identical LP path.
 //
 // Crossbar solves return hardware latency/energy estimates derived from
 // counted physical operations and calibrated device constants, so the
@@ -55,6 +60,10 @@ var (
 	// WithConstantStep outside EngineCrossbarLargeScale. It matches
 	// errors.Is(err, ErrInvalid).
 	ErrIncompatibleOption = fmt.Errorf("%w: option incompatible with engine", ErrInvalid)
+	// ErrConicUnsupported reports a conic problem handed to an engine that
+	// only solves pure LPs (everything except EngineConic, EnginePDIP and
+	// EnginePDIPReduced). It matches errors.Is(err, ErrInvalid).
+	ErrConicUnsupported = lp.ErrConicUnsupported
 )
 
 // Problem is a linear program: maximize Cᵀx subject to A·x ≤ B, x ≥ 0.
@@ -79,8 +88,71 @@ func NewProblem(name string, c []float64, a [][]float64, b []float64) (*Problem,
 	return &Problem{inner: inner}, nil
 }
 
+// ConeType identifies a cone family in a conic problem's constraint-row
+// partition.
+type ConeType int
+
+// Cone families.
+const (
+	// ConeNonNeg is the non-negative orthant: each covered row is an ordinary
+	// scalar inequality slack.
+	ConeNonNeg = ConeType(lp.ConeNonNeg)
+	// ConeSOC is the second-order (Lorentz) cone: the covered rows' slack
+	// s = b − A·x must satisfy s₀ ≥ ‖s₁…‖ (axis row first).
+	ConeSOC = ConeType(lp.ConeSOC)
+)
+
+// Cone describes one block of a conic problem's ordered constraint-row
+// partition: Dim consecutive rows belonging to one cone. NonNeg blocks need
+// Dim ≥ 1, SOC blocks Dim ≥ 2; block dims must sum to the constraint count.
+type Cone struct {
+	Type ConeType
+	Dim  int
+}
+
+// NewConicProblem constructs and validates a conic problem: maximize cᵀx
+// subject to b − A·x ∈ K and x ≥ 0, where K is the product of the given
+// cones over the constraint rows in order. With only ConeNonNeg blocks the
+// problem is an ordinary LP.
+func NewConicProblem(name string, c []float64, a [][]float64, b []float64, cones []Cone) (*Problem, error) {
+	mat, err := linalg.MatrixFromRows(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	cv := make(linalg.Vector, len(c))
+	copy(cv, c)
+	bv := make(linalg.Vector, len(b))
+	copy(bv, b)
+	inner := make([]lp.Cone, len(cones))
+	for i, k := range cones {
+		inner[i] = lp.Cone{Type: lp.ConeType(k.Type), Dim: k.Dim}
+	}
+	prob, err := lp.NewConic(name, cv, mat, bv, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: prob}, nil
+}
+
 // Name returns the problem's label.
 func (p *Problem) Name() string { return p.inner.Name }
+
+// IsConic reports whether the problem has at least one second-order cone
+// block (i.e. is not a pure LP).
+func (p *Problem) IsConic() bool { return p.inner.IsConic() }
+
+// Cones returns the problem's constraint-row cone partition (nil for a pure
+// LP built without explicit cones). The caller owns the slice.
+func (p *Problem) Cones() []Cone {
+	if len(p.inner.Cones) == 0 {
+		return nil
+	}
+	out := make([]Cone, len(p.inner.Cones))
+	for i, k := range p.inner.Cones {
+		out[i] = Cone{Type: ConeType(k.Type), Dim: k.Dim}
+	}
+	return out
+}
 
 // NumVariables returns n.
 func (p *Problem) NumVariables() int { return p.inner.NumVariables() }
@@ -146,6 +218,23 @@ func (p *Problem) WriteMPS(w io.Writer) error { return p.inner.WriteMPS(w) }
 // reproducible per seed.
 func GenerateFeasible(m, n int, seed int64) (*Problem, error) {
 	inner, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Variables: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner}, nil
+}
+
+// GenerateFeasibleSOCP returns a random feasible, bounded SOCP with m
+// constraint rows and n variables (n = 0 means the paper's ratio n = m/3),
+// partitioned into `blocks` second-order cones of dimension blockDim each
+// (zero means one 3-dimensional cone) with the remaining rows in the
+// non-negative orthant. Instances are reproducible per seed.
+func GenerateFeasibleSOCP(m, n int, blocks, blockDim int, seed int64) (*Problem, error) {
+	inner, err := lp.GenerateFeasibleSOCP(lp.SOCGenConfig{
+		GenConfig: lp.GenConfig{Constraints: m, Variables: n, Seed: seed},
+		Blocks:    blocks,
+		BlockDim:  blockDim,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +380,9 @@ type Solution struct {
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
 	DualityGap          float64
+	// ConeInfeasibility is the worst second-order-cone violation of the
+	// constraint slack at the returned point (always 0 for pure LPs).
+	ConeInfeasibility float64
 	// Diagnostics carries fault and recovery telemetry (nil unless the
 	// solver was built with WithFaultModel or WithWriteVerify).
 	Diagnostics *Diagnostics

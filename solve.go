@@ -39,6 +39,11 @@ const (
 	EnginePDIPReduced
 	// EngineSimplex is the two-phase simplex baseline.
 	EngineSimplex
+	// EngineConic is Algorithm 1 extended to LP + second-order-cone problems:
+	// the SOC constraint rows carry dense Nesterov–Todd scaling blocks on the
+	// same extended-matrix fabric mapping (Eq. 14a). Pure LPs are accepted and
+	// take the bit-identical LP iteration path.
+	EngineConic
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +59,8 @@ func (e Engine) String() string {
 		return "pdip-reduced"
 	case EngineSimplex:
 		return "simplex"
+	case EngineConic:
+		return "conic"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -100,7 +107,7 @@ func defaultOptions() options {
 // and ErrInvalid.
 func (o *options) validateFor(e Engine) error {
 	switch e {
-	case EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex:
+	case EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex, EngineConic:
 	default:
 		return fmt.Errorf("%w: %d", ErrUnknownEngine, int(e))
 	}
@@ -125,7 +132,7 @@ func (o *options) validateFor(e Engine) error {
 			// strictly one problem at a time.
 			ok = e == EngineCrossbar
 		default: // crossbar hardware options
-			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale
+			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale || e == EngineConic
 		}
 		if !ok {
 			return fmt.Errorf("%s does not apply to engine %s: %w", name, e, ErrIncompatibleOption)
@@ -429,7 +436,7 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 			return nil, err
 		}
 		s.backend = engine.Simplex{S: sx}
-	case EngineCrossbar, EngineCrossbarLargeScale:
+	case EngineCrossbar, EngineCrossbarLargeScale, EngineConic:
 		if err := s.buildCrossbarBackend(eng, o); err != nil {
 			return nil, err
 		}
@@ -546,6 +553,12 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 			return err
 		}
 		s.backend = engine.Crossbar{S: cs}
+	case EngineConic:
+		cs, err := core.NewSolver(copts)
+		if err != nil {
+			return err
+		}
+		s.backend = engine.Conic{S: cs}
 	case EngineCrossbarLargeScale:
 		ls, err := core.NewLargeScaleSolver(copts)
 		if err != nil {
@@ -645,6 +658,7 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 		PrimalInfeasibility: res.PrimalInfeasibility,
 		DualInfeasibility:   res.DualInfeasibility,
 		DualityGap:          res.DualityGap,
+		ConeInfeasibility:   res.ConeInfeasibility,
 	}
 	if res.Analog {
 		est := perf.CrossbarCost(res.Counters, s.timing)

@@ -47,7 +47,10 @@ type TraceRecord struct {
 	DualityGap          float64
 	PrimalInfeasibility float64
 	DualInfeasibility   float64
-	Theta               float64
+	// ConeInfeasibility is the worst second-order-cone violation of the
+	// constraint slack b − A·x (conic problems only; 0 for pure LPs).
+	ConeInfeasibility float64
+	Theta             float64
 	// Objective is the objective value (terminal records; running tableau
 	// value on simplex pivots).
 	Objective float64
