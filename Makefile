@@ -1,7 +1,7 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bless-traces
+.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bench-serve bless-traces
 
 all: build test lint
 
@@ -45,6 +45,14 @@ bench-batch:
 	$(GO) test . ./internal/core/ ./internal/linalg/ -run '^$$' \
 		-bench 'BenchmarkBatchParallel|BenchmarkBatchValidation|BenchmarkSolveStructuredPDIPShape' \
 		-benchtime 3x -benchmem
+
+# Serving throughput (the BENCH_SERVE.json source): 8 closed-loop clients
+# against an in-process memlpd, same-matrix coalescing off vs on. Wall
+# req/s is core-count-bound; the amortization columns are the stable signal.
+bench-serve:
+	$(GO) run ./cmd/benchtables -table serve -sizes 16,24 -vars 0 \
+		-serve-clients 8 -serve-requests 8 -serve-window 5ms \
+		-serve-json BENCH_SERVE.json
 
 # Trace-recording overhead (the BENCH_TRACE.json source): the same solve
 # with and without the ring-sink recorder.

@@ -1,0 +1,101 @@
+// Command memlpd is the memlp solver daemon: an HTTP service that accepts
+// LP/SOCP submissions (POST /solve, JSON body carrying the text-io problem
+// format plus engine/options fields), pools reusable solver handles per
+// (engine, options) key, and coalesces concurrent same-matrix requests into
+// shared SolveBatch calls on the fabric pool — so replica programming cost is
+// paid once per matrix, not once per request.
+//
+// Endpoints: POST /solve, GET /healthz, GET /metrics (Prometheus text
+// format), GET /vars (JSON summary). Requests may bound their solve with an
+// X-Deadline header (a duration like "250ms" or an RFC 3339 timestamp);
+// expiry and client disconnect both surface as the "canceled" status.
+//
+//	memlpd -addr :8080 -queue 64 -coalesce-window 2ms -solvers-per-key 2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/memlp/memlp/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the daemon and blocks until SIGINT/SIGTERM (or ready receives a
+// value and the test closes the listener). The bound address is printed to
+// stdout as "listening on <addr>" so callers using -addr :0 can find the
+// port. ready, when non-nil, receives the bound address once serving.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("memlpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address (use :0 for a random port)")
+		queue         = fs.Int("queue", 64, "admission limit: concurrent /solve requests before 429")
+		window        = fs.Duration("coalesce-window", 2*time.Millisecond, "how long a request waits for same-matrix companions")
+		maxBatch      = fs.Int("max-batch", 32, "launch a coalesced batch early at this size")
+		solversPerKey = fs.Int("solvers-per-key", 2, "solver handles pooled per (engine, options) key")
+		parallelism   = fs.Int("parallelism", 0, "fabric-pool width for batch solves (0 = GOMAXPROCS)")
+		noCoalesce    = fs.Bool("no-coalesce", false, "disable same-matrix request coalescing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Config{
+		QueueLimit:        *queue,
+		CoalesceWindow:    *window,
+		MaxBatch:          *maxBatch,
+		SolversPerKey:     *solversPerKey,
+		Parallelism:       *parallelism,
+		DisableCoalescing: *noCoalesce,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlpd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "memlpd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "memlpd: shutdown: %v\n", err)
+			return 1
+		}
+		return 0
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "memlpd: %v\n", err)
+		return 1
+	}
+}

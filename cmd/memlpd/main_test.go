@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd boots the daemon on a random port, solves a problem
+// over HTTP, checks the observability endpoints, and shuts it down with
+// SIGINT — the full lifecycle the CI serve-e2e job exercises.
+func TestDaemonEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errOut bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	body := `{"problem": "name diet\nmaximize 3 2\nsubject 1 1 <= 4\nsubject 1 3 <= 6\n", "engine": "crossbar"}`
+	resp, err := http.Post(base+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /solve: status %d", resp.StatusCode)
+	}
+	var sol struct {
+		Status    string  `json:"status"`
+		Objective float64 `json:"objective"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sol); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sol.Status != "optimal" {
+		t.Errorf("status = %q, want optimal", sol.Status)
+	}
+	if diff := sol.Objective - 12; diff < -0.5 || diff > 0.5 {
+		t.Errorf("objective = %v, want ≈ 12", sol.Objective)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics", "/vars"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, r.StatusCode)
+		}
+	}
+
+	// Graceful shutdown on SIGINT.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatalf("FindProcess: %v", err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("run exited %d, stderr: %s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("stdout missing listen line: %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut, nil); code != 2 {
+		t.Errorf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag") {
+		t.Errorf("stderr missing usage: %q", errOut.String())
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errOut, nil); code != 1 {
+		t.Errorf("run = %d, want 1", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("expected a listen error on stderr")
+	}
+}

@@ -1,0 +1,62 @@
+package memlp
+
+// Serving-layer support: the canonical-matrix primitives behind cmd/memlpd's
+// request coalescing. A solver service folding concurrent same-matrix
+// submissions into one SolveBatch call needs two things from the problem
+// type: a cheap content fingerprint to find coalescing candidates, and a way
+// to make candidate problems share one literal constraint-matrix object so
+// batch validation takes its pointer-identity fast path instead of the
+// O(mn) element compare per batch member.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// MatrixFingerprint returns a 64-bit content hash of the problem's
+// constraint matrix: dimensions plus the exact bit pattern of every
+// coefficient (FNV-1a). Equal matrices always hash equal; unequal matrices
+// collide only with hash probability, so a fingerprint match must be
+// confirmed with AdoptMatrixOf (or an element compare) before treating two
+// problems as batch-compatible. The objective and right-hand side do not
+// contribute: batch mates share A while b and c vary freely.
+func (p *Problem) MatrixFingerprint() uint64 {
+	a := p.inner.A
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(a.Rows()))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(a.Cols()))
+	h.Write(buf[:])
+	for i := 0; i < a.Rows(); i++ {
+		for _, v := range a.RawRow(i) {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// AdoptMatrixOf makes p share canon's constraint-matrix object when the two
+// matrices are element-identical, reporting whether the adoption happened
+// (true is also returned when they already share the object). After a
+// successful adoption, batching p together with canon — or with any other
+// adopter of the same canonical problem — short-circuits the shared-A batch
+// validation on pointer identity. The matrices' contents are untouched;
+// adopting only drops p's duplicate copy in favor of the canonical one, so
+// solves are unaffected.
+//
+// A false return means the matrices differ (or differ in shape): p is left
+// unchanged and must not be batched with canon.
+func (p *Problem) AdoptMatrixOf(canon *Problem) bool {
+	pa, ca := p.inner.A, canon.inner.A
+	if pa == ca {
+		return true
+	}
+	if !pa.Equal(ca, 0) {
+		return false
+	}
+	p.inner.A = ca
+	return true
+}

@@ -1,0 +1,116 @@
+package memlp
+
+// Tests for the serving-layer canonical-matrix primitives: fingerprint
+// equality/inequality, adoption success and refusal, and the pointer-identity
+// fast path adoption buys a subsequent SolveBatch.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func coalesceProblems(t *testing.T, n int) []*Problem {
+	t.Helper()
+	a := [][]float64{{1, 1}, {1, 3}, {2, 1}}
+	c := []float64{3, 2}
+	out := make([]*Problem, n)
+	for i := range out {
+		b := []float64{4 + float64(i), 6, 5}
+		p, err := NewProblem(fmt.Sprintf("p%d", i), c, a, b)
+		if err != nil {
+			t.Fatalf("NewProblem: %v", err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestMatrixFingerprint(t *testing.T) {
+	ps := coalesceProblems(t, 2)
+	if ps[0].MatrixFingerprint() != ps[1].MatrixFingerprint() {
+		t.Error("equal matrices produced different fingerprints")
+	}
+
+	other, err := NewProblem("other", []float64{3, 2},
+		[][]float64{{1, 1}, {1, 3.0000001}, {2, 1}}, []float64{4, 6, 5})
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	if other.MatrixFingerprint() == ps[0].MatrixFingerprint() {
+		t.Error("different matrices produced the same fingerprint")
+	}
+
+	// Shape must contribute: a 2x3 and a 3x2 with the same element stream
+	// must not collide.
+	wide, err := NewProblem("wide", []float64{1, 1, 1},
+		[][]float64{{1, 1, 1}, {3, 2, 1}}, []float64{4, 6})
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	tall, err := NewProblem("tall", []float64{1, 1},
+		[][]float64{{1, 1}, {1, 3}, {2, 1}}, []float64{4, 6, 5})
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	if wide.MatrixFingerprint() == tall.MatrixFingerprint() {
+		t.Error("transposed shapes produced the same fingerprint")
+	}
+}
+
+func TestAdoptMatrixOf(t *testing.T) {
+	ps := coalesceProblems(t, 3)
+	canon := ps[0]
+	for _, p := range ps[1:] {
+		if p.inner.A == canon.inner.A {
+			t.Fatal("fresh problems unexpectedly share a matrix")
+		}
+		if !p.AdoptMatrixOf(canon) {
+			t.Fatal("AdoptMatrixOf refused equal matrices")
+		}
+		if p.inner.A != canon.inner.A {
+			t.Error("adoption did not share the canonical matrix object")
+		}
+		// Idempotent on an already-shared matrix.
+		if !p.AdoptMatrixOf(canon) {
+			t.Error("AdoptMatrixOf refused an already-adopted matrix")
+		}
+	}
+
+	other, err := NewProblem("other", []float64{3, 2},
+		[][]float64{{1, 1}, {1, 3}, {2, 2}}, []float64{4, 6, 5})
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	if other.AdoptMatrixOf(canon) {
+		t.Error("AdoptMatrixOf accepted a different matrix")
+	}
+	if other.inner.A == canon.inner.A {
+		t.Error("refused adoption still shared the matrix")
+	}
+}
+
+// TestAdoptionEnablesBatch confirms the point of adoption: problems built
+// independently (distinct matrix objects) batch successfully after adopting
+// the canonical matrix, and the batch solves every member.
+func TestAdoptionEnablesBatch(t *testing.T) {
+	ps := coalesceProblems(t, 4)
+	for _, p := range ps[1:] {
+		if !p.AdoptMatrixOf(ps[0]) {
+			t.Fatal("AdoptMatrixOf refused equal matrices")
+		}
+	}
+	solver, err := NewSolver(EngineCrossbar, WithSeed(5), WithParallelism(2))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	sols, err := solver.SolveBatch(context.Background(), ps)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	for i, sol := range sols {
+		if sol.Status != StatusOptimal {
+			t.Errorf("problem %d: status %v", i, sol.Status)
+		}
+	}
+}

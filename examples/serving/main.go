@@ -1,0 +1,144 @@
+// Serving over HTTP: the examples/streaming scenario moved behind memlpd.
+// A router no longer links the solver into its binary — it POSTs the
+// throughput LP to a solver daemon every time its link capacities change.
+// Because every epoch shares the same (fixed) topology matrix, the daemon
+// coalesces concurrent requests into one SolveBatch on an already-programmed
+// fabric: the expensive array programming is paid once per batch, not once
+// per request, which is the paper's amortization claim at the service level.
+//
+// The program boots the memlpd handler in-process on a loopback port (the
+// standalone daemon is `go run ./cmd/memlpd`), fires one HTTP request per
+// capacity epoch concurrently, then demonstrates the X-Deadline header.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/memlp/memlp/internal/serve"
+)
+
+func main() {
+	// The daemon side: identical to `memlpd -addr 127.0.0.1:0` with a window
+	// wide enough that this program's concurrent epochs always coalesce.
+	srv := serve.New(serve.Config{CoalesceWindow: 100 * time.Millisecond})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("memlpd serving on %s\n\n", base)
+
+	// The client side: the streaming example's topology (3 paths, 5 links),
+	// one request body per measurement epoch. Only the right-hand side (the
+	// link capacities) changes, so every epoch shares the same matrix.
+	epochs := [][]float64{
+		{10, 7, 4, 8, 9},
+		{12, 7, 4, 8, 9},  // link sa upgraded
+		{12, 5, 4, 8, 9},  // link sb congested
+		{12, 5, 2, 8, 11}, // ab degraded, bt upgraded
+		{6, 5, 2, 8, 11},  // sa incident
+	}
+	bodies := make([][]byte, len(epochs))
+	for i, caps := range epochs {
+		problem := fmt.Sprintf(
+			"name epoch-%d\nmaximize 1 1 1\n"+
+				"subject 1 0 1 <= %g\nsubject 0 1 0 <= %g\nsubject 0 0 1 <= %g\n"+
+				"subject 1 0 0 <= %g\nsubject 0 1 1 <= %g\n",
+			i, caps[0], caps[1], caps[2], caps[3], caps[4])
+		bodies[i], err = json.Marshal(serve.Request{
+			Problem: problem,
+			Engine:  "crossbar",
+			Options: serve.Options{Variation: 0.05, Seed: 7},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Fire all epochs concurrently: the daemon folds them into one batch.
+	fmt.Println("five concurrent same-topology epochs:")
+	results := make([]serve.Response, len(bodies))
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			results[i] = post(base, body, nil)
+		}(i, body)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Printf("  %-8s  status=%-8s  throughput=%6.3f  coalesced=%v (batch of %d)\n",
+			r.Name, r.Status, r.Objective, r.Coalesced, r.BatchSize)
+	}
+	if hw := results[0].Hardware; hw != nil {
+		fmt.Printf("  modeled fabric cost, first epoch: %v, %d cell writes\n",
+			time.Duration(hw.LatencyNS), hw.CellWrites)
+	}
+
+	// A deadline the solve cannot meet: the daemon answers 200 with the
+	// solver's "canceled" status instead of hanging the client.
+	fmt.Println("\nan epoch with an impossible X-Deadline:")
+	r := post(base, bodies[0], map[string]string{"X-Deadline": "1ns"})
+	fmt.Printf("  status=%s (%s)\n", r.Status, r.Error)
+
+	// The daemon's own accounting.
+	var vars map[string]any
+	resp, err := http.Get(base + "/vars")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		log.Fatal(err)
+	}
+	var requests float64
+	if byCode, ok := vars["serve_requests"].(map[string]any); ok {
+		for _, n := range byCode {
+			if v, ok := n.(float64); ok {
+				requests += v
+			}
+		}
+	}
+	fmt.Printf("\n/vars: %v requests, %v coalesced into %v batches\n",
+		requests, vars["serve_coalesced"], vars["serve_batches"])
+}
+
+// post sends one /solve request and decodes the response, with optional
+// extra headers.
+func post(base string, body []byte, headers map[string]string) serve.Response {
+	req, err := http.NewRequest(http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, out.Error)
+	}
+	return out
+}

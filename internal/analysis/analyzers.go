@@ -13,6 +13,15 @@ package analysis
 //   - hotpath wherever //memlp:hotpath annotations appear;
 //   - tracesink keeping raw file/JSON/HTTP I/O out of the solver engines —
 //     telemetry leaves them only through trace sinks.
+//
+// Scope note (DESIGN.md D15): the tracesink and rawwrite lists are
+// allowlists of engine-side packages, so the transport layer — cmd/memlpd
+// and internal/serve, whose whole job is HTTP and JSON — is deliberately
+// outside them, as are the other cmd/ mains and internal/experiments.
+// Serving traffic must not widen the engine boundary: internal/serve talks
+// to the fabric only through the public memlp API, never by importing the
+// engine packages, and TestDefaultScopes pins both the lists and that
+// import boundary.
 func Default() []*Analyzer {
 	return []*Analyzer{
 		Floatcmp(FloatcmpConfig{

@@ -1,0 +1,280 @@
+package experiments
+
+// The serving-throughput experiment: closed-loop clients hammering an
+// in-process memlpd server with same-matrix requests, with coalescing off
+// (every request solved solo) and on (same-matrix requests folded into
+// shared SolveBatch calls). The coalescing win is the service-level
+// restatement of the paper's amortization claim — replica programming cost
+// paid once per matrix instead of once per request — and is reported three
+// ways: wall-clock requests/sec (bounded by host cores, since the software
+// simulator's per-iteration compute serializes on one core), modeled fabric
+// latency per request (the crossbar-level cost estimate), and programming
+// events per request (the amortization itself, which approaches 1/batch).
+// Off/on pairs from the same run are the only valid comparison.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/serve"
+)
+
+// ServeRow is one (size, coalescing mode) point of the serving table.
+type ServeRow struct {
+	M, N int
+	// Clients is the closed-loop worker count; Requests the total completed.
+	Clients  int
+	Requests int
+	// Coalesce reports whether same-matrix batching was enabled.
+	Coalesce bool
+	// Window is the server's coalesce window.
+	Window time.Duration
+	// Wall is the whole run's duration; ReqPerSec the throughput.
+	Wall      time.Duration
+	ReqPerSec float64
+	// P50 and P95 are request-latency percentiles.
+	P50, P95 time.Duration
+	// HitRate is the fraction of requests folded into a batch of ≥ 2;
+	// MeanBatch the mean batch size over coalesced requests (0 when off).
+	HitRate   float64
+	MeanBatch float64
+	// Optimal is the fraction of requests that solved to optimality.
+	Optimal float64
+	// Speedup is this row's throughput over the coalescing-off row of the
+	// same size (1.0 on the off rows themselves). Host wall time: on a
+	// single-core host the per-iteration simulation compute serializes, so
+	// this stays near 1 regardless of how much programming is amortized.
+	Speedup float64
+	// HWPerReq is the mean modeled fabric latency per request (the
+	// crossbar-level cost estimate from Solution.Hardware, which the wall
+	// clock of the software simulator does not reflect).
+	HWPerReq time.Duration
+	// HWSpeedup is the off-row HWPerReq over this row's (1.0 on off rows).
+	HWSpeedup float64
+	// ProgramsPerReq is the mean number of fabric programming events a
+	// request paid for: 1.0 when every request programs its own replicas,
+	// 1/batch for requests folded into a shared batch. This is the
+	// amortization the paper claims, measured directly.
+	ProgramsPerReq float64
+	// ProgramAmortization is the off-row ProgramsPerReq over this row's
+	// (1.0 on off rows); with perfect coalescing of k clients it approaches k.
+	ProgramAmortization float64
+}
+
+// ServeThroughput boots an in-process solver service per (size, mode) point
+// and measures closed-loop request throughput: `clients` workers each issue
+// `perClient` sequential same-matrix requests (per-request right-hand
+// sides), first with coalescing disabled, then enabled with the given
+// window. The first of cfg.Variations sets the hardware variation level.
+func ServeThroughput(cfg Config, clients, perClient int, window time.Duration) ([]ServeRow, error) {
+	cfg = cfg.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	if perClient <= 0 {
+		perClient = 8
+	}
+	if window <= 0 {
+		window = 5 * time.Millisecond
+	}
+	varPct := cfg.Variations[0]
+
+	var rows []ServeRow
+	for _, m := range cfg.Sizes {
+		base, err := lp.GenerateFeasible(lp.GenConfig{Constraints: m, Seed: cfg.Seed + int64(m)})
+		if err != nil {
+			return nil, err
+		}
+		// One serialized request body per (client, iteration): same A, the
+		// right-hand side scaled per request so nothing can be answer-cached.
+		bodies := make([][][]byte, clients)
+		for c := range bodies {
+			bodies[c] = make([][]byte, perClient)
+			for j := range bodies[c] {
+				b := base.B.Clone()
+				for k := range b {
+					b[k] *= 1 + 0.003*float64(c*perClient+j)
+				}
+				p, err := lp.New(fmt.Sprintf("%s-c%d-r%d", base.Name, c, j), base.C, base.A, b)
+				if err != nil {
+					return nil, err
+				}
+				var text bytes.Buffer
+				if err := p.WriteText(&text); err != nil {
+					return nil, err
+				}
+				body, err := json.Marshal(serve.Request{
+					Problem: text.String(),
+					Engine:  "crossbar",
+					Options: serve.Options{Variation: varPct, Seed: cfg.Seed + 1},
+				})
+				if err != nil {
+					return nil, err
+				}
+				bodies[c][j] = body
+			}
+		}
+
+		var off ServeRow
+		for _, coalesce := range []bool{false, true} {
+			if err := cfg.ctxErr(); err != nil {
+				return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+			}
+			row, err := serveRun(bodies, coalesce, window, clients)
+			if err != nil {
+				return nil, err
+			}
+			row.M, row.N = m, base.NumVariables()
+			if !coalesce {
+				off = row
+				row.Speedup = 1
+				row.HWSpeedup = 1
+				row.ProgramAmortization = 1
+			} else {
+				row.Speedup = safeDiv(row.ReqPerSec, off.ReqPerSec)
+				row.HWSpeedup = safeDiv(float64(off.HWPerReq), float64(row.HWPerReq))
+				row.ProgramAmortization = safeDiv(off.ProgramsPerReq, row.ProgramsPerReq)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// serveRun boots one server on a loopback port, drives it with the prepared
+// request bodies, and aggregates the latency histogram and coalescing stats.
+func serveRun(bodies [][][]byte, coalesce bool, window time.Duration, clients int) (ServeRow, error) {
+	srv := serve.New(serve.Config{
+		QueueLimit:        2 * clients,
+		CoalesceWindow:    window,
+		MaxBatch:          clients,
+		DisableCoalescing: !coalesce,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeRow{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/solve"
+
+	type outcome struct {
+		latency time.Duration
+		batch   int
+		optimal bool
+		hwNS    float64
+	}
+	results := make([][]outcome, len(bodies))
+	errs := make([]error, len(bodies))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := range bodies {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for _, body := range bodies[c] {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var sr serve.Response
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("HTTP %d: %s", resp.StatusCode, sr.Error)
+					return
+				}
+				o := outcome{
+					latency: time.Since(t0),
+					batch:   sr.BatchSize,
+					optimal: sr.Status == "optimal",
+				}
+				if sr.Hardware != nil {
+					o.hwNS = float64(sr.Hardware.LatencyNS)
+				}
+				results[c] = append(results[c], o)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeRow{}, err
+		}
+	}
+
+	var latencies []time.Duration
+	var coalesced, optimal, total int
+	var batchSum int
+	var hwSum, programs float64
+	for _, rs := range results {
+		for _, o := range rs {
+			total++
+			latencies = append(latencies, o.latency)
+			hwSum += o.hwNS
+			if o.optimal {
+				optimal++
+			}
+			if o.batch > 1 {
+				coalesced++
+				batchSum += o.batch
+				// A batch of k shares one programming pass: each member
+				// paid 1/k of a programming event.
+				programs += 1 / float64(o.batch)
+			} else {
+				programs++
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	row := ServeRow{
+		Clients:   len(bodies),
+		Requests:  total,
+		Coalesce:  coalesce,
+		Window:    window,
+		Wall:      wall,
+		ReqPerSec: float64(total) / wall.Seconds(),
+		P50:       pct(0.50),
+		P95:       pct(0.95),
+		Optimal:   safeDiv(float64(optimal), float64(total)),
+		HitRate:   safeDiv(float64(coalesced), float64(total)),
+
+		HWPerReq:       time.Duration(safeDiv(hwSum, float64(total))),
+		ProgramsPerReq: safeDiv(programs, float64(total)),
+	}
+	if coalesced > 0 {
+		row.MeanBatch = float64(batchSum) / float64(coalesced)
+	}
+	return row, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

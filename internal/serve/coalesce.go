@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/memlp/memlp"
+)
+
+// batchRunner executes one coalesced batch: check a solver out of the pool,
+// SolveBatch, check it back in. Injected by the server so the coalescer
+// stays free of pool and metrics plumbing.
+type batchRunner func(ctx context.Context, probs []*memlp.Problem) ([]*memlp.Solution, error)
+
+// coalescer folds concurrent same-matrix submissions for one (engine,
+// options) key into shared SolveBatch calls. A submission's constraint
+// matrix is fingerprinted and matched against a bounded canonical-matrix
+// cache; on a hit the problem adopts the canonical matrix object (pointer
+// identity, with element-equality confirming the hash) and joins the open
+// pending batch for that fingerprint. The batch launches when its coalesce
+// window expires or it reaches maxBatch members.
+//
+// Determinism contract: before launch the members are ordered by their
+// textual serialization (Problem.WriteText bytes, ties by arrival), and
+// batch indices are assigned in that order. SolveBatch derives each
+// problem's noise draws from (seed, batch index), so a served result is
+// bit-identical to a direct SolveBatch of the same problems in the same
+// canonical order — regardless of request arrival interleaving.
+type coalescer struct {
+	window     time.Duration
+	maxBatch   int
+	cacheLimit int
+	run        batchRunner
+	observe    func(size int) // batch-size metrics hook; may be nil
+	baseCtx    context.Context
+
+	mu      sync.Mutex
+	canon   map[uint64]*memlp.Problem
+	pending map[uint64]*pendingBatch
+}
+
+// pendingBatch is one open (or launched) same-matrix batch.
+type pendingBatch struct {
+	fingerprint uint64
+	members     []*waiter
+	timer       *time.Timer
+	launched    bool
+	done        chan struct{}
+}
+
+// waiter is one request's seat in a pending batch; sol/err/index/size are
+// valid once done closes. A caller whose own context dies first simply stops
+// waiting — the batch runs on for the remaining members.
+type waiter struct {
+	prob *memlp.Problem
+	text string
+	ctx  context.Context
+	done chan struct{}
+
+	sol   *memlp.Solution
+	err   error
+	index int
+	size  int
+}
+
+func newCoalescer(baseCtx context.Context, window time.Duration, maxBatch, cacheLimit int, run batchRunner, observe func(int)) *coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if cacheLimit < 1 {
+		cacheLimit = 1
+	}
+	return &coalescer{
+		window:     window,
+		maxBatch:   maxBatch,
+		cacheLimit: cacheLimit,
+		run:        run,
+		observe:    observe,
+		baseCtx:    baseCtx,
+		canon:      make(map[uint64]*memlp.Problem),
+		pending:    make(map[uint64]*pendingBatch),
+	}
+}
+
+// submit seats the problem in a pending batch and returns its waiter. A
+// false second return means the problem cannot coalesce (fingerprint
+// collision against the cached canonical matrix) and the caller must solve
+// it solo.
+func (c *coalescer) submit(ctx context.Context, prob *memlp.Problem) (*waiter, bool) {
+	var buf bytes.Buffer
+	_ = prob.WriteText(&buf) // bytes.Buffer cannot fail
+	fp := prob.MatrixFingerprint()
+
+	c.mu.Lock()
+	canon, ok := c.canon[fp]
+	if !ok {
+		c.evictLocked()
+		c.canon[fp] = prob
+	} else if !prob.AdoptMatrixOf(canon) {
+		// Hash collision between genuinely different matrices: do not batch.
+		c.mu.Unlock()
+		return nil, false
+	}
+	pb := c.pending[fp]
+	if pb == nil || pb.launched {
+		pb = &pendingBatch{fingerprint: fp, done: make(chan struct{})}
+		c.pending[fp] = pb
+		pb.timer = time.AfterFunc(c.window, func() { c.launch(pb) })
+	}
+	w := &waiter{prob: prob, text: buf.String(), ctx: ctx, done: pb.done}
+	pb.members = append(pb.members, w)
+	full := len(pb.members) >= c.maxBatch
+	c.mu.Unlock()
+
+	if full {
+		go c.launch(pb)
+	}
+	return w, true
+}
+
+// evictLocked bounds the canonical-matrix cache; callers hold c.mu. Eviction
+// only drops the dedup anchor for a matrix — in-flight batches keep their
+// problems alive, and a re-submission simply becomes the new canon.
+func (c *coalescer) evictLocked() {
+	if len(c.canon) < c.cacheLimit {
+		return
+	}
+	for fp := range c.canon {
+		if _, open := c.pending[fp]; !open {
+			delete(c.canon, fp)
+			return
+		}
+	}
+	// Every cached matrix has an open batch: let the cache exceed the limit
+	// rather than break an active coalescing point.
+}
+
+// launch closes a pending batch to new members, orders it canonically, runs
+// it under the merged member context, and distributes the results. Safe to
+// call more than once; only the first call acts.
+func (c *coalescer) launch(pb *pendingBatch) {
+	c.mu.Lock()
+	if pb.launched {
+		c.mu.Unlock()
+		return
+	}
+	pb.launched = true
+	if c.pending[pb.fingerprint] == pb {
+		delete(c.pending, pb.fingerprint)
+	}
+	members := pb.members
+	c.mu.Unlock()
+	pb.timer.Stop()
+
+	// Canonical order: serialized problem bytes, ties by arrival. This is the
+	// determinism anchor — batch index, and therefore each problem's noise
+	// epoch, must not depend on goroutine scheduling.
+	sort.SliceStable(members, func(i, j int) bool { return members[i].text < members[j].text })
+
+	probs := make([]*memlp.Problem, len(members))
+	ctxs := make([]context.Context, len(members))
+	for i, w := range members {
+		w.index, w.size = i, len(members)
+		probs[i] = w.prob
+		ctxs[i] = w.ctx
+	}
+	if c.observe != nil {
+		c.observe(len(members))
+	}
+
+	// The batch keeps running while any member still wants the answer; it is
+	// canceled only when every member's request context has gone away.
+	mctx, cancel := mergedContext(c.baseCtx, ctxs)
+	defer cancel()
+	sols, err := c.run(mctx, probs)
+
+	for i, w := range members {
+		if i < len(sols) {
+			w.sol = sols[i]
+		}
+		if err != nil && (w.sol == nil || w.sol.Status == memlp.StatusCanceled) {
+			w.err = err
+		}
+	}
+	close(pb.done)
+}
+
+// mergedContext derives a context that cancels once every member context is
+// done (or the parent dies). The returned cancel must be called when the
+// batch finishes so the watcher goroutines exit.
+func mergedContext(parent context.Context, ctxs []context.Context) (context.Context, context.CancelFunc) {
+	mctx, cancel := context.WithCancel(parent)
+	remaining := int64(len(ctxs))
+	for _, memberCtx := range ctxs {
+		go func(memberCtx context.Context) {
+			select {
+			case <-memberCtx.Done():
+				if atomic.AddInt64(&remaining, -1) == 0 {
+					cancel()
+				}
+			case <-mctx.Done():
+			}
+		}(memberCtx)
+	}
+	return mctx, cancel
+}

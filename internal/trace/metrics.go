@@ -12,10 +12,12 @@ import (
 
 // Histogram bucket bounds. Iteration buckets cover the O(√N) range the
 // paper reports; gap buckets are log-spaced around the optimality
-// tolerances.
+// tolerances; latency buckets cover the memlpd serving range from
+// sub-millisecond cache-warm solves to multi-second cold batches.
 var (
-	iterBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
-	gapBuckets  = []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 10}
+	iterBuckets    = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+	gapBuckets     = []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 10}
+	latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 )
 
 // hist is a fixed-bucket cumulative histogram.
@@ -61,6 +63,14 @@ type Metrics struct {
 	batches     int64
 	shardSolves map[int]int64
 	shardBusy   map[int]float64 // seconds
+
+	// Serving counters (cmd/memlpd): per-status-code request counts, request
+	// latency, the coalescer's batch/hit split, and admission rejections.
+	serveReqs      map[string]int64 // HTTP status code, as a string label
+	serveLatency   *hist            // seconds
+	serveBatches   int64            // SolveBatch launches by the coalescer
+	serveCoalesced int64            // requests that shared a batch with >= 1 other
+	serveRejected  int64            // requests refused by admission control (429)
 }
 
 // NewMetrics returns an empty aggregator.
@@ -75,6 +85,7 @@ func NewMetrics() *Metrics {
 		gapHist:     make(map[string]*hist),
 		shardSolves: make(map[int]int64),
 		shardBusy:   make(map[int]float64),
+		serveReqs:   make(map[string]int64),
 	}
 }
 
@@ -124,6 +135,39 @@ func (m *Metrics) ObserveBatch(shardSolves []int, shardBusySeconds []float64) {
 	for i, s := range shardBusySeconds {
 		m.shardBusy[i] += s
 	}
+}
+
+// ObserveServeRequest counts one served solver request: the HTTP status code
+// it answered with and its end-to-end latency (admission to response) in
+// seconds.
+func (m *Metrics) ObserveServeRequest(code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serveReqs[strconv.Itoa(code)]++
+	if m.serveLatency == nil {
+		m.serveLatency = newHist(latencyBuckets)
+	}
+	m.serveLatency.observe(seconds)
+}
+
+// ObserveServeBatch counts one coalescer SolveBatch launch of the given
+// size. Sizes above one additionally count every member as a coalesced
+// request — the numerator of the hit rate whose denominator is
+// memlp_serve_requests_total.
+func (m *Metrics) ObserveServeBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serveBatches++
+	if size > 1 {
+		m.serveCoalesced += int64(size)
+	}
+}
+
+// ObserveServeRejection counts one request refused by admission control.
+func (m *Metrics) ObserveServeRejection() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serveRejected++
 }
 
 // WriteProm writes the Prometheus text exposition format. Output is fully
@@ -201,6 +245,35 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	for _, k := range sortedIntKeys(m.shardBusy) {
 		p("memlp_shard_busy_seconds_total{shard=\"%d\"} %s\n", k, formatProm(m.shardBusy[k]))
 	}
+
+	p("# HELP memlp_serve_requests_total Solver requests served by HTTP status code.\n")
+	p("# TYPE memlp_serve_requests_total counter\n")
+	for _, k := range sortedKeys(m.serveReqs) {
+		p("memlp_serve_requests_total{code=%q} %d\n", k, m.serveReqs[k])
+	}
+
+	p("# HELP memlp_serve_latency_seconds Request latency, admission to response.\n")
+	p("# TYPE memlp_serve_latency_seconds histogram\n")
+	if h := m.serveLatency; h != nil {
+		for i, b := range h.bounds {
+			p("memlp_serve_latency_seconds_bucket{le=%q} %d\n", formatProm(b), h.counts[i])
+		}
+		p("memlp_serve_latency_seconds_bucket{le=\"+Inf\"} %d\n", h.n)
+		p("memlp_serve_latency_seconds_sum %s\n", formatProm(h.sum))
+		p("memlp_serve_latency_seconds_count %d\n", h.n)
+	}
+
+	p("# HELP memlp_serve_batches_total Coalescer SolveBatch launches.\n")
+	p("# TYPE memlp_serve_batches_total counter\n")
+	p("memlp_serve_batches_total %d\n", m.serveBatches)
+
+	p("# HELP memlp_serve_coalesced_requests_total Requests folded into a shared-matrix batch with at least one other request.\n")
+	p("# TYPE memlp_serve_coalesced_requests_total counter\n")
+	p("memlp_serve_coalesced_requests_total %d\n", m.serveCoalesced)
+
+	p("# HELP memlp_serve_rejected_total Requests refused by admission control (HTTP 429).\n")
+	p("# TYPE memlp_serve_rejected_total counter\n")
+	p("memlp_serve_rejected_total %d\n", m.serveRejected)
 	return err
 }
 
@@ -257,7 +330,12 @@ func (m *Metrics) String() string {
 		Energy     map[string]float64 `json:"energy_joules"`
 		Events     map[string]int64   `json:"recovery_events"`
 		Batches    int64              `json:"batches"`
-	}{m.records, m.solves, m.iterations, m.retries, m.energy, m.events, m.batches}
+		ServeReqs  map[string]int64   `json:"serve_requests,omitempty"`
+		ServeBatch int64              `json:"serve_batches,omitempty"`
+		ServeCoal  int64              `json:"serve_coalesced,omitempty"`
+		ServeRej   int64              `json:"serve_rejected,omitempty"`
+	}{m.records, m.solves, m.iterations, m.retries, m.energy, m.events, m.batches,
+		m.serveReqs, m.serveBatches, m.serveCoalesced, m.serveRejected}
 	b, err := json.Marshal(summary)
 	if err != nil {
 		return "{}"

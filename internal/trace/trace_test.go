@@ -244,6 +244,44 @@ func TestMetricsProm(t *testing.T) {
 	}
 }
 
+func TestMetricsServeCounters(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveServeRequest(200, 0.002)
+	m.ObserveServeRequest(200, 0.3)
+	m.ObserveServeRequest(429, 0.0001)
+	m.ObserveServeBatch(4) // coalesced: 4 members
+	m.ObserveServeBatch(1) // solo: batch counted, no coalesced members
+	m.ObserveServeRejection()
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`memlp_serve_requests_total{code="200"} 2`,
+		`memlp_serve_requests_total{code="429"} 1`,
+		`memlp_serve_latency_seconds_bucket{le="0.005"} 2`,
+		`memlp_serve_latency_seconds_bucket{le="+Inf"} 3`,
+		"memlp_serve_latency_seconds_count 3",
+		"memlp_serve_batches_total 2",
+		"memlp_serve_coalesced_requests_total 4",
+		"memlp_serve_rejected_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	var parsed map[string]interface{}
+	if err := json.Unmarshal([]byte(m.String()), &parsed); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if parsed["serve_batches"].(float64) != 2 {
+		t.Fatalf("serve_batches = %v, want 2", parsed["serve_batches"])
+	}
+}
+
 func TestMetricsString(t *testing.T) {
 	m := NewMetrics()
 	m.Emit(doneRecord("crossbar", "optimal", 12, 1e-8))

@@ -1,0 +1,113 @@
+package memlp_test
+
+// Acceptance test for the serving path: mirrors examples/serving — the
+// streaming topology served over HTTP with concurrent same-matrix epochs —
+// and holds it to the library's answers. External test package: the serving
+// layer imports memlp, so an in-package test would be an import cycle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/memlp/memlp"
+	"github.com/memlp/memlp/internal/serve"
+)
+
+// servingEpochs is examples/serving's capacity stream over its fixed
+// 3-path, 5-link topology.
+var servingEpochs = [][]float64{
+	{10, 7, 4, 8, 9},
+	{12, 7, 4, 8, 9},
+	{12, 5, 4, 8, 9},
+	{12, 5, 2, 8, 11},
+	{6, 5, 2, 8, 11},
+}
+
+func servingEpochText(i int, caps []float64) string {
+	return fmt.Sprintf(
+		"name epoch-%d\nmaximize 1 1 1\n"+
+			"subject 1 0 1 <= %g\nsubject 0 1 0 <= %g\nsubject 0 0 1 <= %g\n"+
+			"subject 1 0 0 <= %g\nsubject 0 1 1 <= %g\n",
+		i, caps[0], caps[1], caps[2], caps[3], caps[4])
+}
+
+func TestServingExampleAcceptance(t *testing.T) {
+	srv := serve.New(serve.Config{CoalesceWindow: 200 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Exact per-epoch optima from the simplex engine, solved in-process.
+	exact := make([]float64, len(servingEpochs))
+	for i, caps := range servingEpochs {
+		p, err := memlp.ReadProblem(bytes.NewReader([]byte(servingEpochText(i, caps))))
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		sol, err := memlp.Solve(p, memlp.EngineSimplex)
+		if err != nil || sol.Status != memlp.StatusOptimal {
+			t.Fatalf("epoch %d: simplex %v %v", i, sol, err)
+		}
+		exact[i] = sol.Objective
+	}
+
+	// The example's request stream, fired concurrently so the server
+	// coalesces all epochs into one fabric batch.
+	results := make([]serve.Response, len(servingEpochs))
+	var wg sync.WaitGroup
+	for i, caps := range servingEpochs {
+		body, err := json.Marshal(serve.Request{
+			Problem: servingEpochText(i, caps),
+			Engine:  "crossbar",
+			Options: serve.Options{Variation: 0.05, Seed: 7},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("epoch %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("epoch %d: HTTP %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&results[i]); err != nil {
+				t.Errorf("epoch %d: decode: %v", i, err)
+			}
+		}(i, body)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, r := range results {
+		if r.Status != memlp.StatusOptimal.String() {
+			t.Errorf("epoch %d: status %q, want optimal (%s)", i, r.Status, r.Error)
+			continue
+		}
+		if !r.Coalesced || r.BatchSize != len(servingEpochs) {
+			t.Errorf("epoch %d: coalesced=%v batch=%d, want a batch of %d",
+				i, r.Coalesced, r.BatchSize, len(servingEpochs))
+		}
+		if rel := math.Abs(float64(r.Objective)-exact[i]) / (1 + math.Abs(exact[i])); rel > 0.08 {
+			t.Errorf("epoch %d: objective %v vs simplex %v (rel %v)", i, r.Objective, exact[i], rel)
+		}
+		if r.Hardware == nil || r.Hardware.CellWrites == 0 {
+			t.Errorf("epoch %d: missing hardware estimate: %+v", i, r.Hardware)
+		}
+	}
+}
