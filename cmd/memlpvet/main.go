@@ -1,6 +1,7 @@
 // Memlpvet checks the memlp tree against its domain-specific invariants:
-// floatcmp, ctxloop, rawwrite, nanguard, and hotpath (see internal/analysis
-// and DESIGN.md D11).
+// floatcmp, ctxloop, rawwrite, nanguard, hotpath, tracesink, and the
+// determinism/concurrency suite detorder, wallclock, guardedby, spawnjoin
+// (see internal/analysis and DESIGN.md D11/D16).
 //
 // Standalone (package patterns, defaulting to ./...):
 //

@@ -1,10 +1,13 @@
-// Package analysis is memlp's domain-specific static-analysis suite: five
+// Package analysis is memlp's domain-specific static-analysis suite: ten
 // analyzers that enforce, at the source level, the numerical/cancellation/
 // hot-path invariants the solver's correctness argument rests on (DESIGN.md
-// D11). It is intentionally self-contained — built only on go/ast and
-// go/types, with the same Analyzer/Pass shape as golang.org/x/tools/go/
-// analysis so the analyzers could be ported to the upstream framework
-// verbatim if the dependency ever becomes available.
+// D11) and the determinism/concurrency invariants behind the serving-era
+// guarantees — bit-identical batches across pool widths, golden traces
+// pinned at 1e-9, served solves bit-identical to direct SolveBatch
+// (DESIGN.md D16). It is intentionally self-contained — built only on
+// go/ast and go/types, with the same Analyzer/Pass shape as
+// golang.org/x/tools/go/analysis so the analyzers could be ported to the
+// upstream framework verbatim if the dependency ever becomes available.
 //
 // The analyzers:
 //
@@ -19,6 +22,18 @@
 //   - nanguard  — exported float-returning functions of the public package
 //     either validate or document NaN/Inf propagation.
 //   - hotpath   — functions annotated //memlp:hotpath may not allocate.
+//   - tracesink — solver-engine packages emit telemetry only through trace
+//     sinks, never raw file/JSON/HTTP I/O (the PR 5 invariant).
+//   - detorder  — no range over a map where the body writes floats, emits
+//     trace records, assigns batch indices, or derives noise epochs: map
+//     order is randomized per run, the determinism contracts are not.
+//   - wallclock — time.Now/Since/Until only inside //memlp:timing funnels;
+//     the process-global math/rand source is banned in deterministic
+//     packages.
+//   - guardedby — fields annotated //memlp:guardedby mu are accessed only
+//     with that sibling mutex held (lexical lock-state scan).
+//   - spawnjoin — every goroutine in engine/serve code has a visible join
+//     or cancellation path (WaitGroup, channel, or ctx).
 //
 // Findings are suppressed only by an explicit, reasoned waiver comment:
 //

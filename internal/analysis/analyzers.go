@@ -2,7 +2,8 @@ package analysis
 
 // Default returns the production-configured memlpvet suite, in reporting
 // order. The configurations pin each analyzer to the packages that own the
-// corresponding invariant (see DESIGN.md D11):
+// corresponding invariant (see DESIGN.md D11 for the style/boundary
+// analyzers and D16 for the determinism/concurrency analyzers):
 //
 //   - floatcmp everywhere, with internal/linalg hosting the approved
 //     //memlp:tolerance-helper functions;
@@ -12,7 +13,19 @@ package analysis
 //   - nanguard on the public memlp package;
 //   - hotpath wherever //memlp:hotpath annotations appear;
 //   - tracesink keeping raw file/JSON/HTTP I/O out of the solver engines —
-//     telemetry leaves them only through trace sinks.
+//     telemetry leaves them only through trace sinks;
+//   - detorder on the packages whose iteration order feeds the determinism
+//     contracts (bit-identical batches across pool widths, golden traces,
+//     served == direct solves): no map-range may drive float accumulation,
+//     trace emission, batch indexing, or noise-epoch derivation;
+//   - wallclock on every deterministic package — the engines, the fabric
+//     substrate, the noise machinery, trace, and serve — confining
+//     time.Now/Since/Until to //memlp:timing funnels and banning the global
+//     math/rand source outright;
+//   - guardedby everywhere //memlp:guardedby annotations appear (the serve
+//     coalescer/pool/server state, the trace.Metrics aggregate);
+//   - spawnjoin on the engine and serving packages, where a goroutine
+//     without a join or cancellation path is a leaked fabric replica.
 //
 // Scope note (DESIGN.md D15): the tracesink and rawwrite lists are
 // allowlists of engine-side packages, so the transport layer — cmd/memlpd
@@ -42,6 +55,31 @@ func Default() []*Analyzer {
 		Hotpath(),
 		Tracesink(TracesinkConfig{
 			Pkgs: []string{"internal/cone", "internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+		}),
+		Detorder(DetorderConfig{
+			Pkgs: []string{
+				"internal/core", "internal/engine", "internal/linalg",
+				"internal/cone", "internal/trace", "internal/serve",
+			},
+		}),
+		Wallclock(WallclockConfig{
+			Pkgs: []string{
+				"internal/core", "internal/engine", "internal/linalg",
+				"internal/cone", "internal/trace", "internal/serve",
+				"internal/crossbar", "internal/variation", "internal/pdip",
+				"internal/simplex", "internal/noc", "internal/memristor",
+				"internal/quant", "internal/lp",
+			},
+		}),
+		Guardedby(),
+		Spawnjoin(SpawnjoinConfig{
+			Pkgs: []string{
+				"internal/core", "internal/engine", "internal/serve",
+				"internal/linalg", "internal/cone", "internal/trace",
+				"internal/crossbar", "internal/variation", "internal/pdip",
+				"internal/simplex", "internal/noc", "internal/memristor",
+				"internal/quant", "cmd/memlpd",
+			},
 		}),
 	}
 }

@@ -20,16 +20,21 @@ import (
 	"github.com/memlp/memlp/internal/analysis/analysistest"
 )
 
-// defaultTracesink digs the production tracesink analyzer out of Default().
-func defaultTracesink(t *testing.T) *analysis.Analyzer {
+// defaultAnalyzer digs a production-configured analyzer out of Default().
+func defaultAnalyzer(t *testing.T, name string) *analysis.Analyzer {
 	t.Helper()
 	for _, a := range analysis.Default() {
-		if a.Name == "tracesink" {
+		if a.Name == name {
 			return a
 		}
 	}
-	t.Fatal("Default() has no tracesink analyzer")
+	t.Fatalf("Default() has no %s analyzer", name)
 	return nil
+}
+
+// defaultTracesink digs the production tracesink analyzer out of Default().
+func defaultTracesink(t *testing.T) *analysis.Analyzer {
+	return defaultAnalyzer(t, "tracesink")
 }
 
 func TestDefaultScopesTracesinkCoversEngines(t *testing.T) {
@@ -44,6 +49,36 @@ func TestDefaultScopesTracesinkExemptsServe(t *testing.T) {
 	// encoding/json, os) and must come back clean: transport is exempt.
 	analysistest.RunExpectClean(t, analysistest.TestData(), defaultTracesink(t),
 		"example.com/tracesink/internal/serve")
+}
+
+// TestDefaultScopesDeterminism pins the production scopes of the D16
+// determinism/concurrency analyzers: the fixtures live under example.com/...
+// so a suffix pkgMatch against the production Pkgs lists is exactly what is
+// exercised — if a package is dropped from a production scope, the matching
+// fixture stops being flagged and this test fails.
+func TestDefaultScopesDeterminism(t *testing.T) {
+	flagged := map[string]string{
+		"detorder":  "example.com/detorder/internal/core",
+		"wallclock": "example.com/wallclock/internal/engine",
+		"spawnjoin": "example.com/spawnjoin/internal/serve",
+	}
+	for name, pkg := range flagged {
+		analysistest.Run(t, analysistest.TestData(), defaultAnalyzer(t, name), pkg)
+	}
+	// internal/experiments is deliberately outside every determinism scope:
+	// benchmark harnesses may time themselves, iterate maps, and fire
+	// goroutines without an audit trail.
+	clean := map[string]string{
+		"detorder":  "example.com/detorder/internal/experiments",
+		"wallclock": "example.com/wallclock/internal/experiments",
+		"spawnjoin": "example.com/spawnjoin/internal/experiments",
+	}
+	for name, pkg := range clean {
+		analysistest.RunExpectClean(t, analysistest.TestData(), defaultAnalyzer(t, name), pkg)
+	}
+	// guardedby is annotation-driven and unconditional, like hotpath: any
+	// package carrying //memlp:guardedby fields is checked.
+	analysistest.Run(t, analysistest.TestData(), defaultAnalyzer(t, "guardedby"), "guardedbyfix")
 }
 
 // engineImports are the packages the serving layer may not touch: the

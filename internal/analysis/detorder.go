@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// DetorderConfig parameterizes the detorder analyzer.
+type DetorderConfig struct {
+	// Pkgs are the packages (pkgMatch patterns) whose iteration order feeds
+	// the determinism contracts: the solver engines, the shared linear-algebra
+	// workspaces, the trace pipeline, and the serving batch assembly.
+	Pkgs []string
+}
+
+// orderSensitiveName matches identifiers whose assignment inside a map
+// iteration couples batch identity or noise derivation to map order.
+var orderSensitiveName = regexp.MustCompile(`(?i)index|idx|epoch`)
+
+// epochCallName matches the noise-derivation funnels (SetNoiseEpoch,
+// ReseedEpoch): calling one per map-iteration pass makes the stochastic
+// stream a function of Go's randomized map order.
+var epochCallName = regexp.MustCompile(`(?i)epoch|reseed`)
+
+// Detorder returns the analyzer enforcing the repo's map-order determinism
+// invariant (DESIGN.md D16): in the configured packages, a `range` over a map
+// must not drive order-sensitive work, because Go randomizes map iteration
+// order per run. Order-sensitive means the loop body
+//
+//   - writes floating-point state (assignment, op-assignment, or ++/-- whose
+//     target is a float, or append into a float-element slice): float
+//     accumulation does not commute, so the result depends on visit order —
+//     the exact bug fixed in linalg.StructuredWorkspace's colRows sets;
+//   - emits trace records (an Emit/emit call): golden traces are compared
+//     record-by-record at 1e-9, so emission order is part of the contract;
+//   - assigns batch indices (stores into an index/idx/epoch-named target):
+//     per PR 4, a problem's noise stream derives from (seed, batch index);
+//   - derives noise epochs (a SetNoiseEpoch/ReseedEpoch-style call).
+//
+// The remedy is the one PR 4 established: keep an insertion-ordered slice
+// beside the map, or snapshot the keys, sort, and iterate the sorted slice.
+// Key-collection loops (append of the key into a slice for sorting) and
+// order-insensitive bodies (integer counting, set membership) are not
+// flagged.
+func Detorder(cfg DetorderConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "detorder",
+		Doc:  "map iteration must not drive float accumulation, trace emission, batch indexing, or noise-epoch derivation",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pass.TypeOf(loop.X)) {
+					return true
+				}
+				if reason := orderSensitiveBody(pass, loop.Body); reason != "" {
+					pass.Reportf(loop.For,
+						"map iteration order is randomized but the body %s; iterate an insertion-ordered slice or sorted keys",
+						reason)
+				}
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// orderSensitiveBody classifies why a map-range body is order-sensitive,
+// returning "" when it is not.
+func orderSensitiveBody(pass *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isFloat(pass.TypeOf(lhs)) {
+					reason = "writes floating-point state"
+					return false
+				}
+				if orderSensitiveTarget(lhs) {
+					reason = "assigns a batch index/epoch"
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(pass.TypeOf(n.X)) {
+				reason = "writes floating-point state"
+				return false
+			}
+			if orderSensitiveTarget(n.X) {
+				reason = "assigns a batch index/epoch"
+				return false
+			}
+		case *ast.CallExpr:
+			if r := orderSensitiveCall(pass, n); r != "" {
+				reason = r
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// orderSensitiveTarget reports whether the assignment target names a batch
+// index or epoch.
+func orderSensitiveTarget(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return orderSensitiveName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return orderSensitiveName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// orderSensitiveCall classifies calls that make a map-range body
+// order-sensitive: float appends, trace emission, and epoch derivation.
+func orderSensitiveCall(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin && obj.Name() == "append" {
+			if len(call.Args) > 0 && floatElemSlice(pass.TypeOf(call.Args[0])) {
+				return "appends floats in map order"
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Emit" || name == "emit" {
+			return "emits trace records"
+		}
+		if epochCallName.MatchString(name) {
+			return "derives a noise epoch"
+		}
+	}
+	return ""
+}
+
+// floatElemSlice reports whether t is a slice with a floating-point element
+// type.
+func floatElemSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && isFloat(sl.Elem())
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

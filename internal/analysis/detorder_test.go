@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestDetorder(t *testing.T) {
+	a := analysis.Detorder(analysis.DetorderConfig{
+		Pkgs: []string{"internal/core", "internal/engine", "internal/linalg", "internal/cone", "internal/trace", "internal/serve"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/detorder/internal/core")
+}
+
+func TestDetorderLeavesUnscopedPackagesAlone(t *testing.T) {
+	// The same float-accumulating map range outside the deterministic
+	// packages (benchmark bookkeeping, experiment harnesses) is not audited.
+	a := analysis.Detorder(analysis.DetorderConfig{
+		Pkgs: []string{"internal/core", "internal/engine", "internal/linalg", "internal/cone", "internal/trace", "internal/serve"},
+	})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/detorder/internal/experiments")
+}

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// guardedbyMarker annotates a struct field that must only be touched with a
+// sibling mutex held: //memlp:guardedby <mutexField>.
+const guardedbyMarker = "//memlp:guardedby"
+
+// Guardedby returns the analyzer enforcing the annotated lock discipline of
+// DESIGN.md D16: a struct field carrying a //memlp:guardedby mu comment (the
+// coalescer's canonical-matrix cache, the solver pool's handle count, the
+// server's pool-entry table, the metrics aggregate) may only be read or
+// written while the named sibling mutex is held.
+//
+// The check is lexical, over every function body in the package: an access
+// through base expression B to a guarded field requires a preceding
+// B.mu.Lock() (or RLock()) in the same function with no intervening
+// non-deferred B.mu.Unlock()/RUnlock() — deferred unlocks run at return and
+// do not end the critical section, and neither does the early-exit idiom
+// (an unlock whose next statement returns, breaks, continues, or panics
+// never flows to the code after its block, so later statements still run
+// under the original Lock). Two escape hatches keep the heuristic honest
+// rather than silent:
+//
+//   - functions whose name ends in "Locked" follow the standard Go
+//     caller-holds-the-lock convention and are exempt (their call sites are
+//     checked instead, since the calls appear inside critical sections);
+//   - anything else is a finding, waivable only with a reasoned
+//     //memlpvet:ignore guardedby comment.
+//
+// A malformed annotation — naming a mutex the struct does not have, or
+// naming no mutex at all — is itself reported, so a typo cannot silently
+// disable the guard.
+func Guardedby() *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc:  "//memlp:guardedby fields are accessed only with the named sibling mutex held",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuardedFields(pass)
+		if len(guarded) == 0 {
+			return nil
+		}
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				return
+			}
+			checkGuardedAccesses(pass, fn, guarded)
+		})
+		return nil
+	}
+	return a
+}
+
+// collectGuardedFields maps each annotated field object to the name of its
+// guarding sibling mutex, reporting malformed annotations.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu, pos, ok := guardedbyAnnotation(field)
+				if !ok {
+					continue
+				}
+				if mu == "" {
+					pass.Reportf(pos, "malformed annotation: want %s <mutexField>", guardedbyMarker)
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(pos, "%s names %q but the struct has no such field", guardedbyMarker, mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardedbyAnnotation extracts the mutex name from a field's doc or trailing
+// comment; ok reports whether the marker is present at all.
+func guardedbyAnnotation(field *ast.Field) (mu string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, guardedbyMarker) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, guardedbyMarker))
+			name, _, _ := strings.Cut(rest, " ")
+			return name, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// lockEvent is one mutex operation or guarded access in a function body, in
+// source order.
+type lockEvent struct {
+	pos      token.Pos
+	path     string // rendered receiver path, e.g. "s.mu" or "ent.pool.mu"
+	kind     int    // 0 lock, 1 unlock, 2 access
+	deferred bool
+	field    types.Object // for accesses
+	fieldMu  string       // for accesses: required mutex field name
+	base     string       // for accesses: rendered base path ("" if unrenderable)
+}
+
+// checkGuardedAccesses performs the lexical lock-state scan over one
+// function body.
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object]string) {
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+		}
+		return true
+	})
+	terminal := terminalCalls(fn.Body)
+
+	var events []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var kind int
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				kind = 0
+			case "Unlock", "RUnlock":
+				kind = 1
+			default:
+				return true
+			}
+			if !isMutexType(pass.TypeOf(sel.X)) {
+				return true
+			}
+			events = append(events, lockEvent{
+				pos:      n.Pos(),
+				path:     exprPath(sel.X),
+				kind:     kind,
+				deferred: deferredCalls[n] || kind == 1 && terminal[n],
+			})
+		case *ast.SelectorExpr:
+			obj := pass.Info.Uses[n.Sel]
+			mu, ok := guarded[obj]
+			if !ok {
+				return true
+			}
+			events = append(events, lockEvent{
+				pos:     n.Sel.Pos(),
+				kind:    2,
+				field:   obj,
+				fieldMu: mu,
+				base:    exprPath(n.X),
+			})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	for i, ev := range events {
+		if ev.kind != 2 {
+			continue
+		}
+		want := ev.fieldMu
+		if ev.base != "" {
+			want = ev.base + "." + ev.fieldMu
+		}
+		held := false
+		for _, prior := range events[:i] {
+			if prior.kind == 2 || prior.deferred && prior.kind == 1 {
+				continue
+			}
+			if !lockPathMatches(prior.path, want, ev.fieldMu, ev.base == "") {
+				continue
+			}
+			held = prior.kind == 0
+		}
+		if !held {
+			pass.Reportf(ev.pos,
+				"%s accessed without holding %s (field is %s %s)",
+				ev.field.Name(), want, guardedbyMarker, ev.fieldMu)
+		}
+	}
+}
+
+// terminalCalls finds the calls whose enclosing statement is immediately
+// followed by a terminating statement (return, break, continue, goto, or a
+// panic call) in the same statement list — the `mu.Unlock(); return` early-
+// exit idiom. Such an unlock never flows to the statements after its block:
+// they execute only when the branch was not taken, i.e. still under the
+// original Lock.
+func terminalCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	mark := func(stmts []ast.Stmt) {
+		for i, st := range stmts {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok || i+1 >= len(stmts) {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch next := stmts[i+1].(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				out[call] = true
+			case *ast.ExprStmt:
+				if c, ok := next.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						out[call] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			mark(n.List)
+		case *ast.CaseClause:
+			mark(n.Body)
+		case *ast.CommClause:
+			mark(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// lockPathMatches reports whether a lock/unlock on path guards an access
+// requiring want. When the access base was unrenderable (a call result,
+// say), any lock on the right mutex field name counts.
+func lockPathMatches(path, want, muName string, anyBase bool) bool {
+	if anyBase {
+		return path == muName || strings.HasSuffix(path, "."+muName)
+	}
+	return path == want
+}
+
+// exprPath renders a chain of identifiers and selectors ("ent.pool"), or ""
+// when the expression is not a pure path.
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprPath(e.X)
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// pointer).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

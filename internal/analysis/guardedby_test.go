@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Guardedby(), "guardedbyfix")
+}

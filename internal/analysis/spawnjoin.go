@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnjoinConfig parameterizes the spawnjoin analyzer.
+type SpawnjoinConfig struct {
+	// Pkgs are the packages (pkgMatch patterns) whose goroutines must carry a
+	// visible join or cancellation path: the engines, the batch pool, and the
+	// serving layer (where a leaked goroutine is a leaked fabric replica).
+	Pkgs []string
+}
+
+// Spawnjoin returns the analyzer enforcing the goroutine-lifecycle invariant
+// of DESIGN.md D16: every `go` statement in the scoped production code must
+// have a visible join or cancellation path, so a request that dies cannot
+// strand a worker (the replica-leak class the serve tests otherwise catch
+// only dynamically, by quiescing pools and counting handles). Evidence of a
+// join/cancellation path, checked in the spawned function's body (the
+// literal's body, or the declaration when the statement spawns a named
+// same-package function):
+//
+//   - a sync.WaitGroup Done/Add call (the spawner Waits);
+//   - a channel send or close (a consumer joins by receiving);
+//   - a channel receive or a range over a channel (the spawner joins by
+//     closing the feed);
+//   - any use of a context.Context (cancellation propagates).
+//
+// A goroutine whose body is not visible — a cross-package function value —
+// cannot be audited and is reported; make the lifecycle explicit at the
+// spawn site or waiver it with a reason.
+func Spawnjoin(cfg SpawnjoinConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "spawnjoin",
+		Doc:  "every goroutine in engine/serve code needs a visible join or cancellation path (WaitGroup, channel, or ctx)",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		decls := packageFuncDecls(pass)
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, visible := spawnedBody(pass, g.Call, decls)
+				if !visible {
+					pass.Reportf(g.Go,
+						"goroutine body is not visible in this package: spawn a local function with an explicit join/cancellation path")
+					return true
+				}
+				if !hasJoinPath(pass, body) {
+					pass.Reportf(g.Go,
+						"goroutine has no visible join or cancellation path: add a WaitGroup, done channel, or ctx")
+				}
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// defined object, so `go s.worker()` resolves to worker's body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+		if obj := pass.Info.Defs[fn.Name]; obj != nil {
+			decls[obj] = fn
+		}
+	})
+	return decls
+}
+
+// spawnedBody resolves the body of the function a go statement spawns.
+func spawnedBody(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) (*ast.BlockStmt, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if fn, ok := decls[pass.Info.Uses[fun]]; ok {
+			return fn.Body, true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return fn.Body, true
+		}
+	}
+	return nil, false
+}
+
+// hasJoinPath scans a goroutine body for join/cancellation evidence.
+func hasJoinPath(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isCloseBuiltin(pass, n) || isWaitGroupCall(pass, n) {
+				found = true
+			}
+		case ast.Expr:
+			if isContextType(pass.TypeOf(n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCloseBuiltin reports whether call is the close builtin.
+func isCloseBuiltin(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && obj.Name() == "close"
+}
+
+// isWaitGroupCall reports whether call invokes Done/Add/Wait on a
+// sync.WaitGroup.
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Add", "Wait":
+	default:
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isChanType reports whether t's core type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

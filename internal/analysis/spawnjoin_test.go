@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestSpawnjoin(t *testing.T) {
+	a := analysis.Spawnjoin(analysis.SpawnjoinConfig{
+		Pkgs: []string{"internal/engine", "internal/serve"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/spawnjoin/internal/serve")
+}
+
+func TestSpawnjoinLeavesUnscopedPackagesAlone(t *testing.T) {
+	// Throwaway harness goroutines outside the scoped packages are exempt.
+	a := analysis.Spawnjoin(analysis.SpawnjoinConfig{
+		Pkgs: []string{"internal/engine", "internal/serve"},
+	})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/spawnjoin/internal/experiments")
+}

@@ -1,0 +1,99 @@
+package core
+
+import "sort"
+
+type sink struct{}
+
+func (sink) Emit(v int) {}
+
+type fabric struct{}
+
+func (fabric) ReseedEpoch(e int64) {}
+
+// Float accumulation does not commute: the sum depends on visit order.
+func badFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "writes floating-point state"
+		sum += v
+	}
+	return sum
+}
+
+func badFloatAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "appends floats in map order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Golden traces compare record-by-record, so emission order is contractual.
+func badEmit(m map[string]int, s sink) {
+	for _, v := range m { // want "emits trace records"
+		s.Emit(v)
+	}
+}
+
+// Noise streams derive from (seed, batch index): handing out indices in map
+// order makes the stochastic stream a function of Go's map randomization.
+func badBatchIndex(m map[string]int) map[string]int {
+	out := map[string]int{}
+	idx := 0
+	for k := range m { // want "assigns a batch index/epoch"
+		out[k] = idx
+		idx++
+	}
+	return out
+}
+
+func badEpoch(m map[int]fabric) {
+	for _, f := range m { // want "derives a noise epoch"
+		f.ReseedEpoch(1)
+	}
+}
+
+// Key collection for sorting is the sanctioned remedy, not a finding.
+func goodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Order-insensitive bodies (integer counting, set membership) pass.
+func goodCount(m map[string]int, allow map[string]bool) int {
+	n := 0
+	for k := range m {
+		if allow[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranging a slice is always fine, float writes or not.
+func goodSlice(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// A reasoned waiver on the line above suppresses the finding.
+func waivedMin(m map[string]float64) float64 {
+	var min float64
+	//memlpvet:ignore detorder commutative min reduction, order cannot change the result
+	for _, v := range m {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,7 @@
+package experiments
+
+// Throwaway harness goroutines outside the scoped packages are not audited;
+// the same spawn inside internal/serve would be a finding.
+func fire(work func()) {
+	go work()
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+func badFireAndForget(work func()) {
+	go func() { // want "no visible join or cancellation path"
+		work()
+	}()
+}
+
+func badOpaque(work func()) {
+	go work() // want "goroutine body is not visible"
+}
+
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func goodDoneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+func goodCtx(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+type loop struct{ jobs chan int }
+
+// worker joins when the spawner closes the feed channel.
+func (l *loop) worker() {
+	for range l.jobs {
+	}
+}
+
+func (l *loop) goodNamedWorker() {
+	go l.worker()
+}
+
+// A reasoned waiver suppresses the finding.
+func waivedDetached(hook func()) {
+	//memlpvet:ignore spawnjoin process-lifetime monitor, intentionally detached
+	go hook()
+}

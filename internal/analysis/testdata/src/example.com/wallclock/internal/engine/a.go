@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now() // want "time.Now outside"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since outside"
+}
+
+func badDeadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until outside"
+}
+
+// The global math/rand source is forbidden even inside timing funnels: its
+// draws can never be reproduced from (seed, index).
+func badGlobalRand() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the process-global source"
+}
+
+// Package-level initializers can never be annotated funnels.
+var skew = time.Now().UnixNano() // want "time.Now outside"
+
+var jitter = rand.Intn(3) // want "rand.Intn draws from the process-global source"
+
+// Annotated funnels are the sanctioned clock access.
+//
+//memlp:timing
+func wallClock() time.Time { return time.Now() }
+
+//memlp:timing
+func wallSince(start time.Time) time.Duration { return time.Since(start) }
+
+// Methods on an explicitly seeded generator reproduce from (seed, index).
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Timer plumbing schedules work without feeding a clock value into results.
+func goodTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// A reasoned waiver suppresses the finding.
+func waivedClock() int64 {
+	//memlpvet:ignore wallclock startup banner only, value never reaches solver state
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,81 @@
+package guardedbyfix
+
+import "sync"
+
+type pool struct {
+	mu      sync.Mutex
+	created int //memlp:guardedby mu
+	max     int // immutable after construction
+}
+
+func (p *pool) bad() int {
+	return p.created // want "created accessed without holding p.mu"
+}
+
+func (p *pool) badAfterUnlock() {
+	p.mu.Lock()
+	p.created++
+	p.mu.Unlock()
+	p.created++ // want "created accessed without holding p.mu"
+}
+
+func (p *pool) goodDeferred() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}
+
+func (p *pool) goodExplicit() {
+	p.mu.Lock()
+	p.created++
+	p.mu.Unlock()
+}
+
+// The unlock-then-return early-exit idiom: that unlock never flows past its
+// block, so the fall-through accesses still run under the original Lock.
+func (p *pool) goodEarlyExit(limit int) bool {
+	p.mu.Lock()
+	if p.created >= limit {
+		p.mu.Unlock()
+		return false
+	}
+	p.created++
+	p.mu.Unlock()
+	return true
+}
+
+// Functions following the *Locked caller-holds convention are exempt.
+func (p *pool) drainLocked() {
+	p.created = 0
+}
+
+// Unannotated fields are free.
+func (p *pool) capacity() int { return p.max }
+
+// RWMutex read locks guard reads too.
+type table struct {
+	mu      sync.RWMutex
+	entries map[string]int //memlp:guardedby mu
+}
+
+func (t *table) goodRead(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries[k]
+}
+
+func (t *table) badRead(k string) int {
+	return t.entries[k] // want "entries accessed without holding t.mu"
+}
+
+// A reasoned waiver suppresses the finding.
+func (t *table) waivedInit() {
+	//memlpvet:ignore guardedby constructor runs before the value is shared
+	t.entries = map[string]int{}
+}
+
+// A typo in the annotation cannot silently disable the guard.
+type badAnnot struct {
+	mu sync.Mutex
+	n  int //memlp:guardedby lock // want "no such field"
+}

@@ -82,8 +82,8 @@ func TestPkgMatch(t *testing.T) {
 
 func TestDefaultSuite(t *testing.T) {
 	suite := Default()
-	if len(suite) != 6 {
-		t.Fatalf("Default() has %d analyzers, want 6", len(suite))
+	if len(suite) != 10 {
+		t.Fatalf("Default() has %d analyzers, want 10", len(suite))
 	}
 	names := map[string]bool{}
 	for _, a := range suite {
@@ -95,7 +95,7 @@ func TestDefaultSuite(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"floatcmp", "ctxloop", "rawwrite", "nanguard", "hotpath", "tracesink"} {
+	for _, want := range []string{"floatcmp", "ctxloop", "rawwrite", "nanguard", "hotpath", "tracesink", "detorder", "wallclock", "guardedby", "spawnjoin"} {
 		if !names[want] {
 			t.Errorf("Default() missing analyzer %q", want)
 		}

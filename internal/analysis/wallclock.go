@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallclockConfig parameterizes the wallclock analyzer.
+type WallclockConfig struct {
+	// Pkgs are the packages (pkgMatch patterns) whose behavior must be a pure
+	// function of (problem, options, seed): the engines, the fabric model, the
+	// noise machinery, the trace pipeline, and the serving batch assembly.
+	Pkgs []string
+}
+
+// timingMarker annotates the approved wall-clock funnels: the few functions
+// whose job is reporting elapsed time (WallTime measurement, request-latency
+// metrics). Everything else in the scoped packages must not read the clock.
+const timingMarker = "//memlp:timing"
+
+// Wallclock returns the analyzer enforcing the repo's clock/randomness
+// determinism invariant (DESIGN.md D16): in the configured packages,
+//
+//   - time.Now / time.Since / time.Until may be called only inside functions
+//     annotated //memlp:timing — the wall-time reporting funnels. Golden
+//     traces pin full convergence trajectories and batch results must be
+//     bit-identical across pool widths, so no solver decision, trace field
+//     other than wall time, or noise epoch may observe the host clock;
+//   - the global math/rand source (package-level rand.Float64, rand.Intn,
+//     rand.Seed, …) is forbidden everywhere in scope, annotation or not:
+//     it is process-global, unseeded by default, and draws from it can never
+//     be reproduced from (seed, index). Randomness must flow from an
+//     explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed))), whose
+//     method calls are allowed.
+//
+// Timer plumbing (time.AfterFunc, time.NewTimer, time.Sleep) is out of
+// scope: it schedules work without feeding a clock value into results.
+func Wallclock(cfg WallclockConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "time.Now/Since/Until only inside //memlp:timing funnels; no global math/rand source in deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgMatch(pass.Pkg.Path(), cfg.Pkgs) {
+			return nil
+		}
+		forEachFunc(pass.Files, func(fn *ast.FuncDecl) {
+			timing := funcAnnotated(fn, timingMarker)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkWallclockCall(pass, call, timing)
+				return true
+			})
+		})
+		// Package-level initializers can never be annotated funnels.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				ast.Inspect(gd, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkWallclockCall(pass, call, false)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkWallclockCall reports a clock read outside a timing funnel or a draw
+// from the global math/rand source.
+func checkWallclockCall(pass *Pass, call *ast.CallExpr, timing bool) {
+	for _, name := range [...]string{"Now", "Since", "Until"} {
+		if isPkgFunc(pass.Info, call, "time", name) {
+			if !timing {
+				pass.Reportf(call.Pos(),
+					"time.%s outside a //memlp:timing funnel: deterministic packages must not observe the host clock",
+					name)
+			}
+			return
+		}
+	}
+	if fn := globalRandFunc(pass.Info, call); fn != "" {
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the process-global source: use an explicitly seeded *rand.Rand so draws reproduce from (seed, index)",
+			fn)
+	}
+}
+
+// globalRandFunc returns the name of a package-level math/rand (or
+// math/rand/v2) function the call invokes, or "". Methods on a seeded
+// *rand.Rand and the generator constructors (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) are allowed.
+func globalRandFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return ""
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // method on an explicitly constructed generator
+	}
+	switch obj.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/memlp/memlp/internal/analysis"
+	"github.com/memlp/memlp/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	a := analysis.Wallclock(analysis.WallclockConfig{
+		Pkgs: []string{"internal/core", "internal/engine"},
+	})
+	analysistest.Run(t, analysistest.TestData(), a, "example.com/wallclock/internal/engine")
+}
+
+func TestWallclockLeavesUnscopedPackagesAlone(t *testing.T) {
+	// Benchmark harnesses time themselves; the clock funnel rule applies only
+	// inside the deterministic packages.
+	a := analysis.Wallclock(analysis.WallclockConfig{
+		Pkgs: []string{"internal/core", "internal/engine"},
+	})
+	analysistest.RunExpectClean(t, analysistest.TestData(), a, "example.com/wallclock/internal/experiments")
+}

@@ -319,7 +319,7 @@ func (s *Solver) newBatchWorker(shard int, first *lp.Problem, aShared *linalg.Ma
 // scaling of b) and records its outcome in the slot. Counters and WallTime
 // are the per-solve marginals on this shard's fabric.
 func (s *Solver) runBatchProblem(ctx context.Context, bw *batchWorker, idx int, p *lp.Problem, aShared *linalg.Matrix, scales []float64, slot *batchSlot) {
-	start := time.Now()
+	start := wallClock()
 	if ne, ok := bw.fab.(NoiseEpocher); ok {
 		// Stochastic draws for this problem become a function of (base seed,
 		// problem index): independent of the shard and of the pool width.
@@ -345,7 +345,7 @@ func (s *Solver) runBatchProblem(ctx context.Context, bw *batchWorker, idx int, 
 		slot.err = err
 		return
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = wallSince(start)
 	res.Counters = bw.fab.Counters().Sub(before)
 	res.Trace = bw.tr.finish(res)
 	if s.opts.Recovery != nil {

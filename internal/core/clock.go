@@ -1,0 +1,16 @@
+package core
+
+import "time"
+
+// wallClock and wallSince are this package's only reads of the host clock —
+// the //memlp:timing funnels memlpvet's wallclock analyzer enforces. They
+// feed exclusively the reported Result.WallTime and shard-busy accounting;
+// no iterate, trace field other than wall time, or noise epoch may observe
+// them, which is what keeps golden traces and the cross-width batch
+// determinism contract host-independent.
+
+//memlp:timing
+func wallClock() time.Time { return time.Now() }
+
+//memlp:timing
+func wallSince(start time.Time) time.Duration { return time.Since(start) }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
@@ -92,7 +91,7 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 	if p.IsConic() {
 		return nil, fmt.Errorf("core: large-scale solver: %w", lp.ErrConicUnsupported)
 	}
-	start := time.Now()
+	start := wallClock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tr.begin(0, 0)
@@ -110,7 +109,7 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 			event: s.tr.event,
 		})
 		if res != nil {
-			res.WallTime = time.Since(start)
+			res.WallTime = wallSince(start)
 			res.Trace = s.tr.finish(res)
 		}
 		return res, err
@@ -125,7 +124,7 @@ func (s *LargeScaleSolver) SolveContext(ctx context.Context, p *lp.Problem) (*Re
 		res.Resolves = attempt
 		counters = counters.Add(res.Counters)
 		res.Counters = counters
-		res.WallTime = time.Since(start)
+		res.WallTime = wallSince(start)
 		if ctxErr != nil {
 			res.Trace = s.tr.finish(res)
 			return res, ctxErr

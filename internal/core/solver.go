@@ -239,7 +239,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := wallClock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tr.begin(0, 0)
@@ -248,7 +248,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
-		res.WallTime = time.Since(start)
+		res.WallTime = wallSince(start)
 		res.Trace = s.tr.finish(res)
 		return res, ctxErr
 	}
@@ -261,7 +261,7 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		event:  s.tr.event,
 	})
 	if res != nil {
-		res.WallTime = time.Since(start)
+		res.WallTime = wallSince(start)
 		res.Trace = s.tr.finish(res)
 	}
 	return res, err

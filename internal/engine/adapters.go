@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"github.com/memlp/memlp/internal/core"
 	"github.com/memlp/memlp/internal/lp"
@@ -127,7 +126,7 @@ func (b PDIP) Name() string { return b.BackendName }
 
 // Solve implements Backend.
 func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
-	start := time.Now()
+	start := wallClock()
 	res, err := b.S.SolveContext(ctx, p)
 	if res == nil {
 		return nil, err
@@ -142,7 +141,7 @@ func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		DualInfeasibility:   res.DualInfeasibility,
 		DualityGap:          res.DualityGap,
 		ConeInfeasibility:   res.ConeInfeasibility,
-		WallTime:            time.Since(start),
+		WallTime:            wallSince(start),
 		Trace:               stampEngine(res.Trace, b.Name()),
 	}, err
 }
@@ -155,7 +154,7 @@ func (b Simplex) Name() string { return "simplex" }
 
 // Solve implements Backend.
 func (b Simplex) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
-	start := time.Now()
+	start := wallClock()
 	res, err := b.S.SolveContext(ctx, p)
 	if res == nil {
 		return nil, err
@@ -165,7 +164,7 @@ func (b Simplex) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		X:         res.X,
 		Objective: res.Objective,
 		Pivots:    res.Pivots,
-		WallTime:  time.Since(start),
+		WallTime:  wallSince(start),
 		Trace:     stampEngine(res.Trace, b.Name()),
 	}, err
 }

@@ -1,0 +1,14 @@
+package engine
+
+import "time"
+
+// wallClock and wallSince are this package's only reads of the host clock —
+// the //memlp:timing funnels memlpvet's wallclock analyzer enforces. The
+// software-backend adapters use them to stamp Result.WallTime; nothing else
+// in the adapters may observe the clock.
+
+//memlp:timing
+func wallClock() time.Time { return time.Now() }
+
+//memlp:timing
+func wallSince(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,17 @@
+package serve
+
+import "time"
+
+// requestClock and requestLatency are this package's only reads of the host
+// clock — the //memlp:timing funnels memlpvet's wallclock analyzer enforces.
+// They bound request-latency metrics and the X-Deadline parse anchor; solve
+// results stay bit-identical to direct SolveBatch because nothing on the
+// coalescing or batch-assembly path observes the clock (the coalesce window
+// is timer plumbing, which schedules work without feeding a clock value
+// into results).
+
+//memlp:timing
+func requestClock() time.Time { return time.Now() }
+
+//memlp:timing
+func requestLatency(start time.Time) float64 { return time.Since(start).Seconds() }

@@ -39,8 +39,8 @@ type coalescer struct {
 	baseCtx    context.Context
 
 	mu      sync.Mutex
-	canon   map[uint64]*memlp.Problem
-	pending map[uint64]*pendingBatch
+	canon   map[uint64]*memlp.Problem //memlp:guardedby mu
+	pending map[uint64]*pendingBatch  //memlp:guardedby mu
 }
 
 // pendingBatch is one open (or launched) same-matrix batch.

@@ -18,8 +18,8 @@ type solverPool struct {
 	slots chan *memlp.Solver
 
 	mu      sync.Mutex
-	created int
-	max     int
+	created int //memlp:guardedby mu
+	max     int // immutable after construction
 }
 
 func newSolverPool(max int, build func() (*memlp.Solver, error)) *solverPool {

@@ -78,7 +78,7 @@ type Server struct {
 	stop    context.CancelFunc
 
 	mu      sync.Mutex
-	entries map[string]*poolEntry
+	entries map[string]*poolEntry //memlp:guardedby mu
 }
 
 // poolEntry is the per-(engine, options)-key state: the solver pool plus, on
@@ -210,7 +210,7 @@ func parseDeadline(h string, now time.Time) (time.Time, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := requestClock()
 	if r.Method != http.MethodPost {
 		s.fail(w, start, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -390,7 +390,7 @@ func (s *Server) respond(w http.ResponseWriter, start time.Time, code int, resp 
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
-	s.metrics.ObserveServeRequest(code, time.Since(start).Seconds())
+	s.metrics.ObserveServeRequest(code, requestLatency(start))
 }
 
 // fail writes a JSON error body and records the request.
@@ -400,5 +400,5 @@ func (s *Server) fail(w http.ResponseWriter, start time.Time, code int, msg stri
 	json.NewEncoder(w).Encode(struct {
 		Error string `json:"error"`
 	}{msg})
-	s.metrics.ObserveServeRequest(code, time.Since(start).Seconds())
+	s.metrics.ObserveServeRequest(code, requestLatency(start))
 }

@@ -142,8 +142,8 @@ func Read(r io.Reader) ([]Record, error) {
 // Err (later emits become no-ops so a full disk cannot wedge a solve).
 type JSONL struct {
 	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	enc *json.Encoder //memlp:guardedby mu
+	err error         //memlp:guardedby mu
 }
 
 // NewJSONL returns a sink streaming to w.

@@ -52,25 +52,25 @@ func (h *hist) observe(v float64) {
 // styles.
 type Metrics struct {
 	mu          sync.Mutex
-	records     int64
-	solves      map[string]int64 // "engine|status"
-	iterations  map[string]int64 // engine
-	retries     map[string]int64 // engine
-	energy      map[string]float64
-	events      map[string]int64 // recovery event name
-	iterHist    map[string]*hist // engine
-	gapHist     map[string]*hist // engine
-	batches     int64
-	shardSolves map[int]int64
-	shardBusy   map[int]float64 // seconds
+	records     int64              //memlp:guardedby mu
+	solves      map[string]int64   //memlp:guardedby mu — "engine|status"
+	iterations  map[string]int64   //memlp:guardedby mu — engine
+	retries     map[string]int64   //memlp:guardedby mu — engine
+	energy      map[string]float64 //memlp:guardedby mu
+	events      map[string]int64   //memlp:guardedby mu — recovery event name
+	iterHist    map[string]*hist   //memlp:guardedby mu — engine
+	gapHist     map[string]*hist   //memlp:guardedby mu — engine
+	batches     int64              //memlp:guardedby mu
+	shardSolves map[int]int64      //memlp:guardedby mu
+	shardBusy   map[int]float64    //memlp:guardedby mu — seconds
 
 	// Serving counters (cmd/memlpd): per-status-code request counts, request
 	// latency, the coalescer's batch/hit split, and admission rejections.
-	serveReqs      map[string]int64 // HTTP status code, as a string label
-	serveLatency   *hist            // seconds
-	serveBatches   int64            // SolveBatch launches by the coalescer
-	serveCoalesced int64            // requests that shared a batch with >= 1 other
-	serveRejected  int64            // requests refused by admission control (429)
+	serveReqs      map[string]int64 //memlp:guardedby mu — HTTP status code, as a string label
+	serveLatency   *hist            //memlp:guardedby mu — seconds
+	serveBatches   int64            //memlp:guardedby mu — SolveBatch launches by the coalescer
+	serveCoalesced int64            //memlp:guardedby mu — requests that shared a batch with >= 1 other
+	serveRejected  int64            //memlp:guardedby mu — requests refused by admission control (429)
 }
 
 // NewMetrics returns an empty aggregator.

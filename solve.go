@@ -380,7 +380,7 @@ type Solver struct {
 	// builds so transfer stats can reach the hardware estimate. Stats are
 	// cumulative per fabric; snapshots around each solve yield marginals.
 	nocCfg     *noc.Config
-	nocFabrics []*noc.TiledFabric
+	nocFabrics []*noc.TiledFabric //memlp:guardedby mu
 
 	// traceJSONL streams every trace record to the WithTraceJSONL writer in
 	// solve order; replay happens under s.mu, so batch output is in input
@@ -492,6 +492,7 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 			if err != nil {
 				return nil, err
 			}
+			//memlpvet:ignore guardedby the factory closure only runs inside backend calls made under s.mu (see buildCrossbarBackend doc)
 			s.nocFabrics = append(s.nocFabrics, f)
 			return f, nil
 		}
@@ -582,13 +583,13 @@ func (s *Solver) Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	before := s.nocSnapshot()
+	before := s.nocSnapshotLocked()
 	res, err := s.backend.Solve(ctx, p.inner)
 	if res == nil {
 		return nil, err
 	}
 	sol := s.solution(res)
-	s.addNoCCost(sol, before)
+	s.addNoCCostLocked(sol, before)
 	return sol, err
 }
 
@@ -626,7 +627,7 @@ func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Soluti
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	before := s.nocSnapshot()
+	before := s.nocSnapshotLocked()
 	results, err := bb.SolveBatch(ctx, inner)
 	if len(results) == 0 && err != nil {
 		return nil, err
@@ -636,7 +637,7 @@ func (s *Solver) SolveBatch(ctx context.Context, problems []*Problem) ([]*Soluti
 		out[i] = s.solution(res)
 	}
 	if len(out) > 0 {
-		s.addNoCCost(out[0], before)
+		s.addNoCCostLocked(out[0], before)
 	}
 	// On cancellation the Solutions completed so far accompany the wrapped
 	// context error (the canceled solve's StatusCanceled partial is last),
@@ -713,9 +714,9 @@ func (s *Solver) TraceErr() error {
 	return s.traceJSONL.Err()
 }
 
-// nocSnapshot records the cumulative transfer stats of every captured tiled
+// nocSnapshotLocked records the cumulative transfer stats of every captured tiled
 // fabric. Callers must hold s.mu.
-func (s *Solver) nocSnapshot() []noc.Stats {
+func (s *Solver) nocSnapshotLocked() []noc.Stats {
 	if s.nocCfg == nil {
 		return nil
 	}
@@ -726,10 +727,10 @@ func (s *Solver) nocSnapshot() []noc.Stats {
 	return snaps
 }
 
-// addNoCCost folds the interconnect activity since the given snapshot into
+// addNoCCostLocked folds the interconnect activity since the given snapshot into
 // the solution's hardware estimate (fabrics created after the snapshot
 // contribute their full counts). Callers must hold s.mu.
-func (s *Solver) addNoCCost(sol *Solution, before []noc.Stats) {
+func (s *Solver) addNoCCostLocked(sol *Solution, before []noc.Stats) {
 	if s.nocCfg == nil || sol.Hardware == nil {
 		return
 	}
