@@ -1,7 +1,7 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bench-serve bless-traces
+.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bench-serve bench-hotpath bless-traces
 
 all: build test lint
 
@@ -60,6 +60,14 @@ bench-trace:
 	$(GO) test . -run '^$$' \
 		-bench 'BenchmarkSolveTraced|BenchmarkSolveUntraced' \
 		-benchtime 50x -benchmem
+
+# Hot-path benchmarks (the BENCH_HOTPATH.json source): delta-programming
+# cell-write savings, warm-started repeat solves, and the structured LDL^T
+# versus dense LU on the reduced KKT system.
+bench-hotpath:
+	$(GO) test . ./internal/linalg/ -run '^$$' \
+		-bench 'BenchmarkDeltaWrites|BenchmarkWarmStart|BenchmarkLDLT|BenchmarkLUKKT' \
+		-benchtime 20x -benchmem
 
 # Regenerate the golden iteration traces under testdata/traces/ from the
 # current solver output (DESIGN.md D13). Review the JSONL diff like any

@@ -1,0 +1,138 @@
+package memlp
+
+// Hot-path benchmarks (the BENCH_HOTPATH.json source): delta-programming's
+// cells-written-per-iteration reduction and warm-started repeat-solve
+// iteration counts. The structured-LDLᵀ companion (BenchmarkLDLT vs
+// BenchmarkLUKKT) lives in internal/linalg. Regenerate with
+// `make bench-hotpath`.
+
+import (
+	"context"
+	"testing"
+)
+
+// benchmarkDeltaWrites measures one crossbar solve of the canonical m=16
+// LP with the delta level grid at the given width (0 disables
+// delta-programming, leaving only the seed controller's bit-exact
+// program-and-verify skip). Three write metrics are reported per iteration:
+//
+//   - refresh/iter: physical cell writes across the whole solve excluding
+//     the one-time array programming — the amortized per-iteration cost.
+//   - active/iter: writes per iteration over the active phase (iterations
+//     2–10), while the iterate is moving and the pre-delta controller pays
+//     the full ~2.7N-cells-per-iteration refresh that §4.4 counts (both
+//     cells of every complementarity row rewritten through the row-sum
+//     coupling). This is the §4.4 metric the delta grid halves: only the
+//     genuinely moving cell of each pair crosses a coarse level bin.
+//   - peak/iter: the worst single-iteration refresh. Without delta this is
+//     the full §4.4 cost, 2(n+m) ≈ 2.7N cells; with the 8-bit grid it is
+//     roughly one cell per complementarity pair.
+//   - skips/iter: delta-programming skips (0 when disabled).
+func benchmarkDeltaWrites(b *testing.B, bits int) {
+	p, err := GenerateFeasible(16, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(EngineCrossbar,
+		WithDeltaWriteBits(bits), WithSeed(9), WithTrace(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const activeEnd = 10
+	var refresh, active, skips, iters, activeIters, peak int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.Solve(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		var programWrites, activeW, prev int64
+		for _, r := range sol.Trace() {
+			if r.Event != "iteration" {
+				continue
+			}
+			if r.Iteration == 1 {
+				programWrites = r.CellsWritten
+			} else if w := r.CellsWritten - prev; w > peak {
+				peak = w
+			}
+			prev = r.CellsWritten
+			if r.Iteration <= activeEnd {
+				activeW = r.CellsWritten
+			}
+		}
+		refresh += sol.Hardware.CellWrites - programWrites
+		active += activeW - programWrites
+		skips += sol.Hardware.CellsSkipped
+		iters += int64(sol.Iterations) - 1
+		activeIters += activeEnd - 1
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(refresh)/float64(iters), "refresh/iter")
+	b.ReportMetric(float64(active)/float64(activeIters), "active/iter")
+	b.ReportMetric(float64(peak), "peak/iter")
+	b.ReportMetric(float64(skips)/float64(iters), "skips/iter")
+}
+
+func BenchmarkDeltaWritesOff(b *testing.B) { benchmarkDeltaWrites(b, 0) }
+func BenchmarkDeltaWrites8(b *testing.B)   { benchmarkDeltaWrites(b, 8) }
+
+// benchmarkWarmStart measures repeat solves of one problem on a persistent
+// handle, cold versus seeded from the previous optimum, reporting the
+// per-solve iteration count the warm start saves.
+func benchmarkWarmStart(b *testing.B, eng Engine, warm bool) {
+	p, err := GenerateFeasible(16, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts []Option
+	if eng == EngineCrossbar {
+		opts = append(opts, WithSeed(9))
+	}
+	s, err := NewSolver(eng, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	prev, err := s.Solve(ctx, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var iters int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if warm {
+			if err := s.SetWarmStart(prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sol, err := s.Solve(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		iters += int64(sol.Iterations)
+		if warm {
+			prev = sol
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/solve")
+}
+
+func BenchmarkWarmStartCold(b *testing.B) { benchmarkWarmStart(b, EngineCrossbar, false) }
+func BenchmarkWarmStartWarm(b *testing.B) { benchmarkWarmStart(b, EngineCrossbar, true) }
+func BenchmarkWarmStartPDIPCold(b *testing.B) {
+	benchmarkWarmStart(b, EnginePDIPReduced, false)
+}
+func BenchmarkWarmStartPDIPWarm(b *testing.B) {
+	benchmarkWarmStart(b, EnginePDIPReduced, true)
+}

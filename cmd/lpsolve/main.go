@@ -44,6 +44,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | conic | pdip | pdip-reduced | simplex")
 		varPct      = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
+		deltaBits   = fs.Int("delta-bits", 8, "delta-programming level grid width for crossbar engines; 0 rewrites every cell each refresh")
 		seed        = fs.Int64("seed", 1, "random seed for variation draws")
 		nocTopo     = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
 		tile        = fs.Int("tile", 512, "NoC tile (crossbar) size")
@@ -79,11 +80,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			opts = append(opts, memlp.WithVariation(*varPct))
 		}
 		opts = append(opts, memlp.WithSeed(*seed))
+		opts = append(opts, memlp.WithDeltaWriteBits(*deltaBits))
 		if *nocTopo != "" {
 			opts = append(opts, memlp.WithNoC(*nocTopo, *tile))
 		}
-	} else if *varPct > 0 || *nocTopo != "" {
-		fmt.Fprintf(stderr, "lpsolve: -variation and -noc require a crossbar engine\n")
+	} else if *varPct > 0 || *nocTopo != "" || *deltaBits != 8 {
+		fmt.Fprintf(stderr, "lpsolve: -variation, -delta-bits, and -noc require a crossbar engine\n")
 		return 2
 	}
 	if engine == memlp.EngineCrossbar {
@@ -151,8 +153,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "wall time:  %v\n", sol.WallTime)
 	if hw := sol.Hardware; hw != nil {
-		fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d analog ops)\n",
-			hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.AnalogOps)
+		fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d skipped, %d analog ops)\n",
+			hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.CellsSkipped, hw.AnalogOps)
 	}
 	if *verbose && sol.X != nil {
 		printVector(stdout, sol.X)
@@ -266,8 +268,8 @@ func runBatch(ctx context.Context, solver *memlp.Solver, engine memlp.Engine, pr
 			fmt.Fprintf(stdout, "pool:       %d replicas, solves per shard %v\n", bs.Replicas, bs.ShardSolves)
 		}
 		if hw := sols[0].Hardware; hw != nil {
-			fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d analog ops; pool programming charged here)\n",
-				hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.AnalogOps)
+			fmt.Fprintf(stdout, "hardware:   %v latency, %.4g J (%d cell writes, %d skipped, %d analog ops; pool programming charged here)\n",
+				hw.Latency, hw.EnergyJoules, hw.CellWrites, hw.CellsSkipped, hw.AnalogOps)
 		}
 	}
 	if err != nil {

@@ -391,6 +391,16 @@ func (s *Solver) solveOnShard(ctx context.Context, bw *batchWorker, scaled, orig
 	y := bw.initBuf[n : n+m]
 	w := bw.initBuf[n+m : n+2*m]
 	z := bw.initBuf[n+2*m:]
+	// Warm-start the shard iterate when set. The seed is derived from the
+	// SCALED problem so the iteration sees consistent units; the stored duals
+	// are user-unit, so scales maps them in (ŷᵢ = yᵢ·scaleᵢ, mirroring the
+	// unscale below). The warm vectors are set before the batch starts and
+	// only read here, so shard workers race neither with each other nor with
+	// the pool — and the seed, like the noise epoch, is shard-independent,
+	// preserving the bit-identical-across-widths contract.
+	if _, err := s.applyWarmStart(scaled, scales, x, y, w, z); err != nil {
+		return nil, nil, err
+	}
 
 	// Reset the complementarity rows for the fresh solve (2(n+m) cells).
 	// Skip when already canceled: the iteration loop's first check then

@@ -61,6 +61,19 @@ type NoiseEpocher interface {
 // Compile-time check: single crossbars support noise epochs.
 var _ NoiseEpocher = (*crossbar.Crossbar)(nil)
 
+// DeltaProgrammer is implemented by fabrics whose write path supports
+// delta-programming (skipping refreshes whose coarse conductance level is
+// unchanged — see crossbar.Config.DeltaWriteBits). The solver toggles it per
+// problem: enabled for orthant LPs, disabled for conic problems, whose dense
+// Nesterov–Todd scaling blocks cannot tolerate per-cell stale conductances.
+// Fabrics without the method never skip, which is always correct.
+type DeltaProgrammer interface {
+	SetDeltaProgramming(on bool)
+}
+
+// Compile-time check: single crossbars support the delta toggle.
+var _ DeltaProgrammer = (*crossbar.Crossbar)(nil)
+
 // FabricFactory builds a fabric able to hold a size×size matrix. The solvers
 // call it once per Solve with the extended system's dimension.
 type FabricFactory func(size int) (Fabric, error)

@@ -197,8 +197,136 @@ type Solver struct {
 	// from it before being copied into the extended state vector), reused
 	// across solves under mu.
 	initBuf linalg.Vector
+	// warmX/warmY, when non-nil, seed subsequent solves from a prior
+	// primal/dual point instead of the all-ones start (see SetWarmStart).
+	warmX, warmY linalg.Vector
 	// tr records the iteration trace under mu; nil when tracing is off.
 	tr *traceState
+}
+
+// warmFloor is the strict-interior safeguard applied to a warm-started
+// iterate: a converged previous solution sits on the boundary (inactive rows
+// have y ≈ 0, basic variables have z ≈ 0), and seeding the interior-point
+// iteration exactly on the boundary stalls the very first step. 1e-6 is far
+// above the iteration's own representability floor (1e-12) but small enough
+// that the centering work it re-introduces is a couple of iterations, not a
+// cold start.
+const warmFloor = 1e-6
+
+// SetWarmStart seeds subsequent solves from a previously computed primal/dual
+// point (typically Result.X and Result.Y of an earlier solve of a nearby
+// problem) instead of the all-ones interior start. The slacks are re-derived
+// from the new problem data (w = b − A·x, z = Aᵀ·y − c) and everything is
+// clamped to the strict interior — orthant rows to warmFloor, second-order
+// cone rows via the cone interior clamp — so a boundary point from a
+// converged solve becomes a usable interior seed. The warm start stays in
+// effect for every following solve (including batch members) until replaced
+// or cleared; passing nil for either vector clears it. Vectors whose
+// dimensions do not match a subsequent problem cause that solve to fail with
+// lp.ErrInvalid; non-finite entries (a degraded previous solution) silently
+// fall back to the cold start.
+func (s *Solver) SetWarmStart(x0, y0 linalg.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x0 == nil || y0 == nil {
+		s.warmX, s.warmY = nil, nil
+		return
+	}
+	s.warmX = append(s.warmX[:0], x0...)
+	s.warmY = append(s.warmY[:0], y0...)
+}
+
+// applyWarmStart overwrites the freshly Fill(1)-ed iterate with the stored
+// warm-start point when one is set and usable. yScale, when non-nil, maps the
+// stored (user-unit) duals into the equilibrated problem's units: the batch
+// path row-scales A, under which internal ŷᵢ = yᵢ·scaleᵢ. It reports whether
+// the warm seed was applied (false → caller keeps the cold start). Callers
+// must hold s.mu (single solves) or rely on the batch entry point having
+// snapshotted the vectors (workers only read them).
+func (s *Solver) applyWarmStart(p *lp.Problem, yScale, x, y, w, z linalg.Vector) (bool, error) {
+	if s.warmX == nil || s.warmY == nil {
+		return false, nil
+	}
+	if len(s.warmX) != len(x) || len(s.warmY) != len(y) {
+		return false, fmt.Errorf("%w: warm start dimensions %d vars / %d duals, problem has %d vars / %d constraints",
+			lp.ErrInvalid, len(s.warmX), len(s.warmY), len(x), len(y))
+	}
+	if !allFinite(s.warmX) || !allFinite(s.warmY) {
+		return false, nil
+	}
+	seedWarmStart(p, s.warmX, s.warmY, yScale, x, y, w, z)
+	return true, nil
+}
+
+func allFinite(v linalg.Vector) bool {
+	for _, e := range v {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// seedWarmStart fills the iterate from a prior point: x and y are taken from
+// (x0, y0), the slacks are re-derived from the CURRENT problem data
+// (w = b − A·x at zero primal residual, z = Aᵀ·y − c at zero dual residual),
+// and all four are clamped to the strict interior. Cone-covered rows of y and
+// w keep their sign-free warm values and get the cone interior clamp instead
+// of the orthant floor.
+func seedWarmStart(p *lp.Problem, x0, y0, yScale, x, y, w, z linalg.Vector) {
+	for i, v := range x0 {
+		if v < warmFloor {
+			v = warmFloor
+		}
+		x[i] = v
+	}
+	for i, v := range y0 {
+		if yScale != nil {
+			v *= yScale[i]
+		}
+		y[i] = v
+	}
+	// Dimensions are pre-checked by applyWarmStart, so the Into errors
+	// cannot fire.
+	_ = p.A.MatVecInto(w, x)
+	for i := range w {
+		w[i] = p.B[i] - w[i]
+	}
+	_ = p.A.MatVecTransposeInto(z, y)
+	for i := range z {
+		v := z[i] - p.C[i]
+		if v < warmFloor {
+			v = warmFloor
+		}
+		z[i] = v
+	}
+	blocks := p.SOCBlocks()
+	floorOrthantRows(y, blocks)
+	floorOrthantRows(w, blocks)
+	if len(blocks) > 0 {
+		cone.ClampInterior(y, blocks, warmFloor)
+		cone.ClampInterior(w, blocks, warmFloor)
+	}
+}
+
+// floorOrthantRows applies the warm-start interior floor to every row of v
+// not covered by a second-order cone block (blocks are ordered and disjoint
+// per lp.Problem.Validate).
+func floorOrthantRows(v linalg.Vector, blocks []cone.Block) {
+	i := 0
+	for _, b := range blocks {
+		for ; i < b.Start; i++ {
+			if v[i] < warmFloor {
+				v[i] = warmFloor
+			}
+		}
+		i = b.Start + b.Dim
+	}
+	for ; i < len(v); i++ {
+		if v[i] < warmFloor {
+			v[i] = warmFloor
+		}
+	}
 }
 
 // NewSolver returns an Algorithm 1 solver.
@@ -298,9 +426,13 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 	y := s.initBuf[n : n+m]
 	w := s.initBuf[n+m : n+2*m]
 	z := s.initBuf[n+2*m:]
+	warm, err := s.applyWarmStart(p, nil, x, y, w, z)
+	if err != nil {
+		return nil, nil, err
+	}
 	// SOC blocks start at the Jordan identity e = (1, 0, …, 0): the all-ones
 	// vector is NOT interior for cone dimension ≥ 3 (‖tail‖ ≥ axis).
-	if blocks := p.SOCBlocks(); len(blocks) > 0 {
+	if blocks := p.SOCBlocks(); !warm && len(blocks) > 0 {
 		cone.InitInterior(y, blocks)
 		cone.InitInterior(w, blocks)
 	}
@@ -313,6 +445,12 @@ func (s *Solver) solveAttempt(ctx context.Context, p *lp.Problem) (*Result, erro
 	fab, err := s.fabric(ext.size)
 	if err != nil {
 		return nil, nil, err
+	}
+	if dp, ok := fab.(DeltaProgrammer); ok {
+		// Delta-write skips are only valid for the scalar complementarity
+		// rows of an orthant LP; conic NT blocks are structurally coupled.
+		// Toggled per solve because the fabric is cached across problems.
+		dp.SetDeltaProgramming(len(ext.blocks) == 0)
 	}
 	countersBase := fab.Counters()
 	s.tr.beginAttempt(countersBase)

@@ -24,6 +24,8 @@ type traceState struct {
 	attempt int
 	last    crossbar.Counters
 	retries int64
+	written int64
+	skipped int64
 	joules  float64
 }
 
@@ -56,7 +58,8 @@ func (t *traceState) begin(problem int, epoch int64) {
 	t.problem, t.epoch = problem, epoch
 	t.attempt = 0
 	t.last = crossbar.Counters{}
-	t.retries, t.joules = 0, 0
+	t.retries, t.written, t.skipped = 0, 0, 0
+	t.joules = 0
 }
 
 // beginAttempt rebases the counter accumulators on the attempt's starting
@@ -78,6 +81,8 @@ func (t *traceState) note(cur crossbar.Counters) {
 	d := cur.Sub(t.last)
 	t.last = cur
 	t.retries += d.WriteRetries
+	t.written += d.CellWrites
+	t.skipped += d.CellSkips
 	if t.energy != nil {
 		t.joules += t.energy(d)
 	}
@@ -92,6 +97,8 @@ func (t *traceState) emit(rec trace.Record) {
 	rec.NoiseEpoch = t.epoch
 	rec.Attempt = t.attempt
 	rec.WriteRetries = t.retries
+	rec.CellsWritten = t.written
+	rec.CellsSkipped = t.skipped
 	rec.EnergyJoules = t.joules
 	t.ring.Emit(rec)
 	if t.onRecord != nil {
@@ -129,6 +136,8 @@ func (t *traceState) finish(res *Result) []trace.Record {
 		NoiseEpoch:          t.epoch,
 		Attempt:             t.attempt,
 		WriteRetries:        res.Counters.WriteRetries,
+		CellsWritten:        res.Counters.CellWrites,
+		CellsSkipped:        res.Counters.CellSkips,
 	}
 	if t.energy != nil {
 		rec.EnergyJoules = t.energy(res.Counters)

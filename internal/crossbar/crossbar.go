@@ -75,6 +75,18 @@ type Config struct {
 	// (program-and-verify multilevel writes reach finer granularity than
 	// the 8-bit voltage I/O path; AB6 in DESIGN.md sweeps this).
 	WriteBits int
+	// DeltaWriteBits enables delta-programming of per-iteration refreshes:
+	// every write target is binned onto a 2^DeltaWriteBits-level log-spaced
+	// conductance grid, and a refresh whose level is unchanged since the
+	// cell's last epoch-compatible write is skipped entirely — the stale
+	// realized conductance (old noise draw included) is already within the
+	// voltage I/O precision of the new target, so the analog result is
+	// unaffected at the ADC. Zero (the default) disables delta-programming:
+	// every changed WriteBits-grid target is physically written. The façade
+	// opts crossbar engines in at 8 bits (matching the §4.1 I/O precision);
+	// the core toggles it off per solve for conic problems via
+	// SetDeltaProgramming.
+	DeltaWriteBits int
 	// Variation is the process-variation model; nil disables variation.
 	// Each device draws one static factor from it when the array is first
 	// programmed (geometry variation dominates, Eq. 18 is a static matrix
@@ -152,6 +164,9 @@ func (c Config) validate() error {
 	if c.WriteBits < 1 || c.WriteBits > 24 {
 		return fmt.Errorf("%w: write bits %d", ErrBadConfig, c.WriteBits)
 	}
+	if c.DeltaWriteBits != 0 && (c.DeltaWriteBits < 2 || c.DeltaWriteBits > 24) {
+		return fmt.Errorf("%w: delta write bits %d", ErrBadConfig, c.DeltaWriteBits)
+	}
 	if !(c.MaxRowSum > 0 && c.MaxRowSum < 1) {
 		return fmt.Errorf("%w: max row sum %v", ErrBadConfig, c.MaxRowSum)
 	}
@@ -184,6 +199,11 @@ type Counters struct {
 	// WriteRetries is the number of corrective pulses issued by the
 	// write-verify loop (a subset of CellWrites; zero without verification).
 	WriteRetries int64
+	// CellSkips is the number of physical writes avoided by
+	// delta-programming: refreshes whose WriteBits-grid target changed but
+	// whose DeltaWriteBits level did not (the pre-delta controller would
+	// have pulsed the device). Zero when delta-programming is disabled.
+	CellSkips int64
 	// MatVecOps is the number of analog multiply operations.
 	MatVecOps int64
 	// SolveOps is the number of analog linear-system solves.
@@ -197,6 +217,7 @@ func (c Counters) Add(o Counters) Counters {
 	return Counters{
 		CellWrites:    c.CellWrites + o.CellWrites,
 		WriteRetries:  c.WriteRetries + o.WriteRetries,
+		CellSkips:     c.CellSkips + o.CellSkips,
 		MatVecOps:     c.MatVecOps + o.MatVecOps,
 		SolveOps:      c.SolveOps + o.SolveOps,
 		IOConversions: c.IOConversions + o.IOConversions,
@@ -211,6 +232,7 @@ func (c Counters) Sub(o Counters) Counters {
 	return Counters{
 		CellWrites:    c.CellWrites - o.CellWrites,
 		WriteRetries:  c.WriteRetries - o.WriteRetries,
+		CellSkips:     c.CellSkips - o.CellSkips,
 		MatVecOps:     c.MatVecOps - o.MatVecOps,
 		SolveOps:      c.SolveOps - o.SolveOps,
 		IOConversions: c.IOConversions - o.IOConversions,
@@ -239,6 +261,15 @@ type Crossbar struct {
 	// conductance target: a write pulse is only issued — and only counted —
 	// when the target actually changes.
 	progTarget *linalg.Matrix
+	// deltaQ bins conductance targets onto the DeltaWriteBits log-spaced
+	// level grid for delta-programming (nil when disabled); deltaLevel
+	// caches each cell's last written level index (row-major, deltaInvalid
+	// when the cell has not been written since the last epoch rebase).
+	deltaQ     *quant.Quantizer
+	deltaLevel []int64
+	// deltaOff suppresses delta-programming for the current workload even
+	// when cfg.DeltaWriteBits enables it; see SetDeltaProgramming.
+	deltaOff bool
 	// rowOff/colOff place the logical matrix inside the physical array.
 	// Nonzero after RemapAvoidingFaults moved the mapping off defective rows;
 	// fault placement is keyed to PHYSICAL coordinates, so the offset decides
@@ -286,7 +317,67 @@ func New(cfg Config) (*Crossbar, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Crossbar{cfg: cfg}, nil
+	x := &Crossbar{cfg: cfg}
+	if cfg.DeltaWriteBits > 0 {
+		// The level grid quantizes the binary MANTISSA of the conductance at
+		// DeltaWriteBits−1 bits and keeps the exponent exact — constant
+		// RELATIVE resolution of 2^−(DeltaWriteBits−1) across the device's
+		// dynamic range, the same structure as quantizeG's per-decade grid.
+		q, err := quant.New(cfg.DeltaWriteBits-1, 0.5, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		x.deltaQ = q
+	}
+	return x, nil
+}
+
+// deltaInvalid marks a cell with no epoch-compatible delta level on record:
+// its next changed target is always physically written. Real levels are
+// strictly positive (the exponent bias keeps the packed index above zero) and
+// zero targets map to level 0, so the sentinel can never collide.
+const deltaInvalid = int64(-1)
+
+// deltaExpBias shifts binary exponents non-negative before packing them with
+// the mantissa index; 1100 clears the float64 exponent range (≥ −1074).
+const deltaExpBias = 1100
+
+// deltaLevelOf bins a quantized conductance target onto the delta-programming
+// level grid: the mantissa's quant index packed with the (biased) binary
+// exponent. Zero (selector-gated) targets get a dedicated level so a cell can
+// never skip a transition between conducting and gated-off.
+//
+//memlp:hotpath
+func (x *Crossbar) deltaLevelOf(tq float64) int64 {
+	if tq == 0 {
+		return 0
+	}
+	frac, exp := math.Frexp(tq) // tq = frac·2^exp, frac ∈ [0.5, 1)
+	return int64(exp+deltaExpBias)*int64(x.deltaQ.Levels()) + int64(x.deltaQ.Index(frac)) + 1
+}
+
+// invalidateDeltaLevels erases the delta-programming level cache, forcing the
+// next changed target of every cell to issue a physical write.
+func (x *Crossbar) invalidateDeltaLevels() {
+	for k := range x.deltaLevel {
+		x.deltaLevel[k] = deltaInvalid
+	}
+}
+
+// SetDeltaProgramming enables or disables delta-programming for the workload
+// that follows, without rebuilding the array or touching its configuration.
+// The core solver turns delta off per solve for conic problems: the dense
+// Nesterov–Todd scaling blocks couple cells structurally, so a per-cell stale
+// conductance breaks the W² consistency the SOC residual relies on, while the
+// scalar complementarity rows of an orthant LP tolerate it within the I/O
+// precision. Disabling drops the level cache immediately; re-enabling takes
+// effect at the next Program (which allocates and invalidates the cache).
+// A no-op when the config disables delta-programming outright.
+func (x *Crossbar) SetDeltaProgramming(on bool) {
+	x.deltaOff = !on
+	if !on {
+		x.deltaLevel = nil
+	}
 }
 
 // quantizeG models program-and-verify write precision: the verify loop
@@ -375,6 +466,17 @@ func (x *Crossbar) Program(a *linalg.Matrix) error {
 	if x.driftEnabled() && x.cellCycle == nil {
 		x.cellCycle = linalg.NewMatrix(x.rows, x.cols)
 	}
+	if x.deltaQ != nil && !x.deltaOff {
+		if len(x.deltaLevel) != x.rows*x.cols {
+			x.deltaLevel = make([]int64, x.rows*x.cols)
+		}
+		// A (re-)Program is a fresh array: no prior level is epoch-compatible.
+		x.invalidateDeltaLevels()
+	} else {
+		// Disabled (by config or per-workload): a nil cache turns every delta
+		// check in the write path off.
+		x.deltaLevel = nil
+	}
 	// Draw each device's static variation factor once per Program: geometry
 	// variation persists across rewrites of the same cell, while a full
 	// re-Program models a fresh array (Algorithm 2's double-checking relies
@@ -443,6 +545,24 @@ func (x *Crossbar) writeRow(i int) {
 		// cells (and re-balanced neighbours) actually change. Both values
 		// lie on the quantizeG grid, so bit-exact identity is the right test.
 		if linalg.Identical(tq, x.progTarget.At(i, j)) {
+			// The realized conductance is exactly this target's, so the cell's
+			// delta level is the target's level. Recording it here — not just
+			// in writeDevice — matters for pool determinism: after an epoch
+			// rebase the first row refresh leaves the level cache a pure
+			// function of the refresh targets whether or not each cell
+			// physically needed a write (which is shard-history-dependent).
+			if x.deltaLevel != nil {
+				x.deltaLevel[i*x.cols+j] = x.deltaLevelOf(tq)
+			}
+			continue
+		}
+		// Delta-programming skips targets whose coarse level is unchanged
+		// since the cell's last epoch-compatible write: the stale realized
+		// conductance (its noise draw included) already sits within the I/O
+		// precision of the new target. The skip decision is a pure function
+		// of digital targets, so iterate trajectories stay deterministic.
+		if x.deltaLevel != nil && x.deltaLevelOf(tq) == x.deltaLevel[i*x.cols+j] {
+			x.counters.CellSkips++
 			continue
 		}
 		x.writeDevice(i, j, tq)
@@ -539,6 +659,13 @@ func (x *Crossbar) UpdateCellInPlace(i, j int, value float64) error {
 		return nil
 	}
 	if linalg.Identical(tq, x.progTarget.At(i, j)) {
+		if x.deltaLevel != nil {
+			x.deltaLevel[i*x.cols+j] = x.deltaLevelOf(tq)
+		}
+		return nil
+	}
+	if x.deltaLevel != nil && x.deltaLevelOf(tq) == x.deltaLevel[i*x.cols+j] {
+		x.counters.CellSkips++
 		return nil
 	}
 	x.writeDevice(i, j, tq)

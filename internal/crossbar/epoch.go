@@ -67,6 +67,14 @@ func (x *Crossbar) SetNoiseEpoch(epoch int64) {
 			}
 		}
 	}
+	// The delta-programming level cache is invalidated UNCONDITIONALLY, not
+	// just under stochastic writes: a delta skip retains a stale conductance
+	// (not merely a stale noise draw), so a level recorded before the epoch
+	// boundary would let one problem's final trajectory leak into the next
+	// problem's realized conductances — shard-history-dependent, breaking the
+	// pool's bit-identity across widths. Within an epoch, skips depend only on
+	// levels written since the rebase: a pure function of (matrix, rhs, epoch).
+	x.invalidateDeltaLevels()
 	if x.driftEnabled() && x.cellCycle != nil {
 		x.driftCycle = 0
 		for i := 0; i < x.cellCycle.Rows(); i++ {

@@ -111,6 +111,9 @@ func (x *Crossbar) realizeWrite(i, j int, tq float64, attempt int) float64 {
 //memlp:conductance-writer
 func (x *Crossbar) writeDevice(i, j int, tq float64) {
 	x.progTarget.Set(i, j, tq)
+	if x.deltaLevel != nil {
+		x.deltaLevel[i*x.cols+j] = x.deltaLevelOf(tq)
+	}
 	x.counters.CellWrites++
 	g := x.realizeWrite(i, j, tq, 0)
 	if tq > 0 && x.cfg.MaxWriteRetries > 0 && !x.verifyOK(g, tq) {
@@ -199,6 +202,7 @@ func (x *Crossbar) RemapAvoidingFaults() bool {
 	x.target = nil
 	x.gt = nil
 	x.progTarget = nil
+	x.deltaLevel = nil
 	x.deviceFactor = nil
 	x.cellCycle = nil
 	return true

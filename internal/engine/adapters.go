@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/memlp/memlp/internal/core"
+	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/simplex"
@@ -62,6 +63,12 @@ func (b Conic) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 	}
 	return fromCore(res, b.Name()), err
 }
+
+// SetWarmStart implements WarmStarter by forwarding to the core solver.
+func (b Crossbar) SetWarmStart(x0, y0 linalg.Vector) { b.S.SetWarmStart(x0, y0) }
+
+// SetWarmStart implements WarmStarter by forwarding to the core solver.
+func (b Conic) SetWarmStart(x0, y0 linalg.Vector) { b.S.SetWarmStart(x0, y0) }
 
 // SolveBatch implements BatchBackend. On cancellation the partial results
 // are converted and returned with the error, per the BatchBackend contract.
@@ -145,6 +152,9 @@ func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 		Trace:               stampEngine(res.Trace, b.Name()),
 	}, err
 }
+
+// SetWarmStart implements WarmStarter by forwarding to the software solver.
+func (b PDIP) SetWarmStart(x0, y0 linalg.Vector) { b.S.SetWarmStart(x0, y0) }
 
 // Simplex adapts simplex.Solver.
 type Simplex struct{ S *simplex.Solver }

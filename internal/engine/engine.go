@@ -73,6 +73,16 @@ type Backend interface {
 	Solve(ctx context.Context, p *lp.Problem) (*Result, error)
 }
 
+// WarmStarter is implemented by backends whose solver can seed its interior
+// iterate from a prior primal/dual point. Passing nil for either vector
+// clears the warm start; a set warm start applies to every subsequent solve
+// until replaced. Backends without this interface (simplex, the large-scale
+// constant-step engine) have no interior iterate to seed and reject the
+// public warm-start option instead.
+type WarmStarter interface {
+	SetWarmStart(x0, y0 linalg.Vector)
+}
+
 // BatchBackend is implemented by backends that can amortize the one-time
 // fabric programming across a sequence of problems sharing one constraint
 // matrix (the paper's high-data-rate scenario).

@@ -153,6 +153,10 @@ type TiledFabric struct {
 	gridC      int // tile-grid cols
 	tiles      [][]*crossbar.Crossbar
 
+	// deltaOff mirrors crossbar.SetDeltaProgramming at the fabric level; it
+	// must be remembered here because Program rebuilds the tile grid.
+	deltaOff bool
+
 	stats Stats
 }
 
@@ -218,6 +222,7 @@ func (f *TiledFabric) Program(a *linalg.Matrix) error {
 			if err != nil {
 				return fmt.Errorf("noc: building tile (%d,%d): %w", i, j, err)
 			}
+			xb.SetDeltaProgramming(!f.deltaOff)
 			rows := minInt(t, a.Rows()-i*t)
 			cols := minInt(t, a.Cols()-j*t)
 			block, err := a.Submatrix(i*t, j*t, rows, cols)
@@ -394,6 +399,18 @@ func (f *TiledFabric) SetNoiseEpoch(epoch int64) {
 	for _, row := range f.tiles {
 		for _, xb := range row {
 			xb.SetNoiseEpoch(epoch)
+		}
+	}
+}
+
+// SetDeltaProgramming toggles delta-programming on every tile (current and
+// future — the flag survives the tile-grid rebuild a re-Program performs).
+// See crossbar.SetDeltaProgramming.
+func (f *TiledFabric) SetDeltaProgramming(on bool) {
+	f.deltaOff = !on
+	for _, row := range f.tiles {
+		for _, xb := range row {
+			xb.SetDeltaProgramming(on)
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"github.com/memlp/memlp/internal/cone"
@@ -63,8 +64,79 @@ type Solver struct {
 
 	mu sync.Mutex
 	ws workspace
+	// warmX/warmY, when non-nil, seed subsequent solves from a prior
+	// primal/dual point instead of the all-ones start (see SetWarmStart).
+	warmX, warmY linalg.Vector
 	// ring records the iteration trace under mu; nil when tracing is off.
 	ring *trace.Ring
+}
+
+// warmStartFloor is the strict-interior safeguard for warm-started iterates:
+// a converged previous solution sits on the boundary (y ≈ 0 on inactive rows,
+// z ≈ 0 on basic variables), and an interior-point step from an exactly-
+// boundary point stalls. Well above the iteration floor (1e-14), small enough
+// to keep the seed close to the previous optimum.
+const warmStartFloor = 1e-6
+
+// SetWarmStart seeds subsequent solves from a previously computed primal/dual
+// point (typically Result.X and Result.Y of an earlier solve of a nearby
+// problem). The slacks are re-derived from the new problem data (w = b − A·x,
+// z = Aᵀ·y − c) and the seed is clamped to the strict interior, orthant rows
+// by warmStartFloor and second-order-cone rows via the cone interior clamp.
+// The warm start persists across solves until replaced or cleared; passing
+// nil for either vector clears it. Dimension mismatches against a subsequent
+// problem fail that solve with lp.ErrInvalid; non-finite entries silently
+// fall back to the cold start.
+func (s *Solver) SetWarmStart(x0, y0 linalg.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x0 == nil || y0 == nil {
+		s.warmX, s.warmY = nil, nil
+		return
+	}
+	s.warmX = append(s.warmX[:0], x0...)
+	s.warmY = append(s.warmY[:0], y0...)
+}
+
+// applyWarmStart overwrites the all-ones starting iterate with the stored
+// warm point when one is set and usable. Callers must hold s.mu with the
+// workspace prepared for p.
+func (s *Solver) applyWarmStart(p *lp.Problem, x, y, w, z linalg.Vector) error {
+	if s.warmX == nil || s.warmY == nil {
+		return nil
+	}
+	if len(s.warmX) != len(x) || len(s.warmY) != len(y) {
+		return fmt.Errorf("%w: warm start dimensions %d vars / %d duals, problem has %d vars / %d constraints",
+			lp.ErrInvalid, len(s.warmX), len(s.warmY), len(x), len(y))
+	}
+	if !allFinite(s.warmX) || !allFinite(s.warmY) {
+		return nil
+	}
+	copy(x, s.warmX)
+	copy(y, s.warmY)
+	// Slacks at zero residual for the NEW problem data: w = b − A·x,
+	// z = Aᵀ·y − c. Dimensions are pre-checked, so the Into errors cannot
+	// fire.
+	_ = p.A.MatVecInto(w, x)
+	for i := range w {
+		w[i] = p.B[i] - w[i]
+	}
+	_ = p.A.MatVecTransposeInto(z, y)
+	for i := range z {
+		z[i] -= p.C[i]
+	}
+	clampFloor(x, warmStartFloor)
+	clampFloor(z, warmStartFloor)
+	if blocks := s.ws.blocks; len(blocks) > 0 {
+		clampFloorOrthant(y, s.ws.socRow, warmStartFloor)
+		clampFloorOrthant(w, s.ws.socRow, warmStartFloor)
+		cone.ClampInterior(y, blocks, warmStartFloor)
+		cone.ClampInterior(w, blocks, warmStartFloor)
+	} else {
+		clampFloor(y, warmStartFloor)
+		clampFloor(w, warmStartFloor)
+	}
+	return nil
 }
 
 // Result reports the outcome of a solve, including per-iteration telemetry
@@ -168,6 +240,9 @@ func (s *Solver) SolveContext(ctx context.Context, p *lp.Problem) (*Result, erro
 		nu = float64(n + (m - socRows) + len(blocks))
 		cone.InitInterior(w, blocks)
 		cone.InitInterior(y, blocks)
+	}
+	if err := s.applyWarmStart(p, x, y, w, z); err != nil {
+		return nil, err
 	}
 
 	res := &Result{Status: lp.StatusIterationLimit}
@@ -421,6 +496,35 @@ func clampPositiveOrthant(v linalg.Vector, socRow []int) {
 			v[i] = floor
 		}
 	}
+}
+
+// clampFloor raises every entry of v below floor up to it (the warm-start
+// analogue of clampPositive, with a caller-chosen floor).
+func clampFloor(v linalg.Vector, floor float64) {
+	for i, x := range v {
+		if x < floor {
+			v[i] = floor
+		}
+	}
+}
+
+// clampFloorOrthant is clampFloor restricted to orthant rows; cone rows are
+// restored by cone.ClampInterior instead.
+func clampFloorOrthant(v linalg.Vector, socRow []int, floor float64) {
+	for i, x := range v {
+		if socRow[i] < 0 && x < floor {
+			v[i] = floor
+		}
+	}
+}
+
+func allFinite(v linalg.Vector) bool {
+	for _, e := range v {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func onesVector(n int) linalg.Vector {

@@ -518,3 +518,36 @@ func TestServerCoalescingDisabled(t *testing.T) {
 		t.Errorf("request coalesced with coalescing disabled: %+v", resp)
 	}
 }
+
+// TestWarmStartCacheThroughServe posts the same LP twice on a warm-capable
+// engine and checks the second solve is seeded from the warm-start cache:
+// fewer iterations end-to-end, the same optimum, and the
+// memlp_serve_warm_starts_total counter ticking.
+func TestWarmStartCacheThroughServe(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := Request{Problem: dietText(0), Engine: "pdip-reduced"}
+	code, cold := postSolve(t, nil, ts.URL, req, nil)
+	if code != http.StatusOK || cold.Status != "optimal" {
+		t.Fatalf("cold solve: HTTP %d, %+v", code, cold)
+	}
+	code, warm := postSolve(t, nil, ts.URL, req, nil)
+	if code != http.StatusOK || warm.Status != "optimal" {
+		t.Fatalf("warm solve: HTTP %d, %+v", code, warm)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm repeat took %d iterations, cold took %d; want a drop",
+			warm.Iterations, cold.Iterations)
+	}
+	if math.Abs(float64(warm.Objective)-float64(cold.Objective)) > 1e-6 {
+		t.Errorf("warm objective %v, cold %v", warm.Objective, cold.Objective)
+	}
+	var summary struct {
+		ServeWarm int64 `json:"serve_warm_starts"`
+	}
+	if err := json.Unmarshal([]byte(s.Metrics().String()), &summary); err != nil {
+		t.Fatalf("metrics summary: %v", err)
+	}
+	if summary.ServeWarm != 1 {
+		t.Errorf("serve_warm_starts = %d, want 1", summary.ServeWarm)
+	}
+}

@@ -87,6 +87,56 @@ type poolEntry struct {
 	eng  memlp.Engine
 	pool *solverPool
 	co   *coalescer // nil when the key's engine cannot batch or coalescing is off
+	warm *warmCache // nil when the key's engine cannot warm-start
+}
+
+// warmCache remembers the last optimal solution per constraint-matrix
+// fingerprint, so repeat traffic against the same matrix (the memlpd steady
+// state: b and c drift, A stays) seeds each solve from the previous optimum
+// instead of a cold start. Solo solves only — coalesced batches stay
+// cold-started so their results depend only on the batch contents, never on
+// server history. FIFO-bounded like the coalescer's canonical-matrix cache.
+type warmCache struct {
+	mu    sync.Mutex
+	limit int
+	order []uint64                   //memlp:guardedby mu — insertion order, for eviction
+	sols  map[uint64]*memlp.Solution //memlp:guardedby mu
+}
+
+func newWarmCache(limit int) *warmCache {
+	return &warmCache{limit: limit, sols: make(map[uint64]*memlp.Solution)}
+}
+
+// lookup returns the cached solution usable as a warm start for prob, or nil.
+// The dimension check guards against a fingerprint collision handing a
+// mismatched seed to the solver (which would fail the solve instead of
+// merely starting it cold).
+func (c *warmCache) lookup(fp uint64, prob *memlp.Problem) *memlp.Solution {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sol := c.sols[fp]
+	if sol == nil || len(sol.X) != prob.NumVariables() || len(sol.DualY) != prob.NumConstraints() {
+		return nil
+	}
+	return sol
+}
+
+// store caches sol as the matrix's future warm start; non-optimal outcomes
+// are not worth seeding from and are dropped.
+func (c *warmCache) store(fp uint64, sol *memlp.Solution) {
+	if sol == nil || sol.Status != memlp.StatusOptimal {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sols[fp]; !ok {
+		if len(c.order) >= c.limit {
+			delete(c.sols, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, fp)
+	}
+	c.sols[fp] = sol
 }
 
 // New builds a Server from the config.
@@ -141,6 +191,10 @@ func (s *Server) entry(eng memlp.Engine, o Options) (*poolEntry, error) {
 		return nil, err
 	}
 	ent := &poolEntry{eng: eng, pool: newSolverPool(s.cfg.SolversPerKey, build)}
+	switch eng {
+	case memlp.EngineCrossbar, memlp.EngineConic, memlp.EnginePDIP, memlp.EnginePDIPReduced:
+		ent.warm = newWarmCache(s.cfg.MatrixCacheLimit)
+	}
 	ent.pool.mu.Lock()
 	ent.pool.created = 1
 	ent.pool.mu.Unlock()
@@ -288,7 +342,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer ent.pool.release(solver)
+		var fp uint64
+		if ent.warm != nil {
+			// Pooled handles retain warm state from whichever request used
+			// them last, so a cache miss must explicitly clear the handle.
+			fp = prob.MatrixFingerprint()
+			if prev := ent.warm.lookup(fp, prob); prev != nil && solver.SetWarmStart(prev) == nil {
+				s.metrics.ObserveServeWarmStart()
+			} else {
+				solver.SetWarmStart(nil)
+			}
+		}
 		sol, solveErr = solver.Solve(ctx, prob)
+		if ent.warm != nil && solveErr == nil {
+			ent.warm.store(fp, sol)
+		}
 	}
 	s.finishSolve(w, start, req, eng, prob, sol, solveErr, batchSize, batchIndex)
 }

@@ -55,6 +55,8 @@ type jsonRecord struct {
 	Objective           jsonFloat `json:"objective"`
 
 	WriteRetries int64     `json:"write_retries"`
+	CellsWritten int64     `json:"cells_written,omitempty"`
+	CellsSkipped int64     `json:"cells_skipped,omitempty"`
 	NoiseEpoch   int64     `json:"noise_epoch"`
 	EnergyJoules jsonFloat `json:"energy_joules"`
 }
@@ -75,6 +77,8 @@ func toJSON(r Record) jsonRecord {
 		Theta:               jsonFloat(r.Theta),
 		Objective:           jsonFloat(r.Objective),
 		WriteRetries:        r.WriteRetries,
+		CellsWritten:        r.CellsWritten,
+		CellsSkipped:        r.CellsSkipped,
 		NoiseEpoch:          r.NoiseEpoch,
 		EnergyJoules:        jsonFloat(r.EnergyJoules),
 	}
@@ -96,6 +100,8 @@ func fromJSON(j jsonRecord) Record {
 		Theta:               float64(j.Theta),
 		Objective:           float64(j.Objective),
 		WriteRetries:        j.WriteRetries,
+		CellsWritten:        j.CellsWritten,
+		CellsSkipped:        j.CellsSkipped,
 		NoiseEpoch:          j.NoiseEpoch,
 		EnergyJoules:        float64(j.EnergyJoules),
 	}

@@ -51,18 +51,20 @@ func (h *hist) observe(v float64) {
 // method satisfies expvar.Var so one instance serves both exposition
 // styles.
 type Metrics struct {
-	mu          sync.Mutex
-	records     int64              //memlp:guardedby mu
-	solves      map[string]int64   //memlp:guardedby mu — "engine|status"
-	iterations  map[string]int64   //memlp:guardedby mu — engine
-	retries     map[string]int64   //memlp:guardedby mu — engine
-	energy      map[string]float64 //memlp:guardedby mu
-	events      map[string]int64   //memlp:guardedby mu — recovery event name
-	iterHist    map[string]*hist   //memlp:guardedby mu — engine
-	gapHist     map[string]*hist   //memlp:guardedby mu — engine
-	batches     int64              //memlp:guardedby mu
-	shardSolves map[int]int64      //memlp:guardedby mu
-	shardBusy   map[int]float64    //memlp:guardedby mu — seconds
+	mu           sync.Mutex
+	records      int64              //memlp:guardedby mu
+	solves       map[string]int64   //memlp:guardedby mu — "engine|status"
+	iterations   map[string]int64   //memlp:guardedby mu — engine
+	retries      map[string]int64   //memlp:guardedby mu — engine
+	cellsWritten map[string]int64   //memlp:guardedby mu — engine
+	cellsSkipped map[string]int64   //memlp:guardedby mu — engine
+	energy       map[string]float64 //memlp:guardedby mu
+	events       map[string]int64   //memlp:guardedby mu — recovery event name
+	iterHist     map[string]*hist   //memlp:guardedby mu — engine
+	gapHist      map[string]*hist   //memlp:guardedby mu — engine
+	batches      int64              //memlp:guardedby mu
+	shardSolves  map[int]int64      //memlp:guardedby mu
+	shardBusy    map[int]float64    //memlp:guardedby mu — seconds
 
 	// Serving counters (cmd/memlpd): per-status-code request counts, request
 	// latency, the coalescer's batch/hit split, and admission rejections.
@@ -71,21 +73,24 @@ type Metrics struct {
 	serveBatches   int64            //memlp:guardedby mu — SolveBatch launches by the coalescer
 	serveCoalesced int64            //memlp:guardedby mu — requests that shared a batch with >= 1 other
 	serveRejected  int64            //memlp:guardedby mu — requests refused by admission control (429)
+	serveWarm      int64            //memlp:guardedby mu — solo solves seeded from the warm-start cache
 }
 
 // NewMetrics returns an empty aggregator.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		solves:      make(map[string]int64),
-		iterations:  make(map[string]int64),
-		retries:     make(map[string]int64),
-		energy:      make(map[string]float64),
-		events:      make(map[string]int64),
-		iterHist:    make(map[string]*hist),
-		gapHist:     make(map[string]*hist),
-		shardSolves: make(map[int]int64),
-		shardBusy:   make(map[int]float64),
-		serveReqs:   make(map[string]int64),
+		solves:       make(map[string]int64),
+		iterations:   make(map[string]int64),
+		retries:      make(map[string]int64),
+		cellsWritten: make(map[string]int64),
+		cellsSkipped: make(map[string]int64),
+		energy:       make(map[string]float64),
+		events:       make(map[string]int64),
+		iterHist:     make(map[string]*hist),
+		gapHist:      make(map[string]*hist),
+		shardSolves:  make(map[int]int64),
+		shardBusy:    make(map[int]float64),
+		serveReqs:    make(map[string]int64),
 	}
 }
 
@@ -105,6 +110,8 @@ func (m *Metrics) Emit(rec Record) {
 		m.solves[engine+"|"+rec.Status]++
 		m.iterations[engine] += int64(rec.Iteration)
 		m.retries[engine] += rec.WriteRetries
+		m.cellsWritten[engine] += rec.CellsWritten
+		m.cellsSkipped[engine] += rec.CellsSkipped
 		m.energy[engine] += rec.EnergyJoules
 		ih := m.iterHist[engine]
 		if ih == nil {
@@ -170,6 +177,14 @@ func (m *Metrics) ObserveServeRejection() {
 	m.serveRejected++
 }
 
+// ObserveServeWarmStart counts one solo solve seeded from the server's
+// fingerprint-keyed warm-start cache.
+func (m *Metrics) ObserveServeWarmStart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serveWarm++
+}
+
 // WriteProm writes the Prometheus text exposition format. Output is fully
 // sorted so repeated scrapes of the same state are byte-identical.
 func (m *Metrics) WriteProm(w io.Writer) error {
@@ -204,6 +219,18 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# TYPE memlp_write_retries_total counter\n")
 	for _, k := range sortedKeys(m.retries) {
 		p("memlp_write_retries_total{engine=%q} %d\n", k, m.retries[k])
+	}
+
+	p("# HELP memlp_cells_written_total Crossbar device programming operations by engine.\n")
+	p("# TYPE memlp_cells_written_total counter\n")
+	for _, k := range sortedKeys(m.cellsWritten) {
+		p("memlp_cells_written_total{engine=%q} %d\n", k, m.cellsWritten[k])
+	}
+
+	p("# HELP memlp_cells_skipped_total Cell writes avoided by delta-programming by engine.\n")
+	p("# TYPE memlp_cells_skipped_total counter\n")
+	for _, k := range sortedKeys(m.cellsSkipped) {
+		p("memlp_cells_skipped_total{engine=%q} %d\n", k, m.cellsSkipped[k])
 	}
 
 	p("# HELP memlp_energy_joules_total Modeled crossbar energy by engine.\n")
@@ -274,6 +301,10 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	p("# HELP memlp_serve_rejected_total Requests refused by admission control (HTTP 429).\n")
 	p("# TYPE memlp_serve_rejected_total counter\n")
 	p("memlp_serve_rejected_total %d\n", m.serveRejected)
+
+	p("# HELP memlp_serve_warm_starts_total Solo solves seeded from the warm-start cache.\n")
+	p("# TYPE memlp_serve_warm_starts_total counter\n")
+	p("memlp_serve_warm_starts_total %d\n", m.serveWarm)
 	return err
 }
 
@@ -327,6 +358,8 @@ func (m *Metrics) String() string {
 		Solves     map[string]int64   `json:"solves"`
 		Iterations map[string]int64   `json:"iterations"`
 		Retries    map[string]int64   `json:"write_retries"`
+		Written    map[string]int64   `json:"cells_written"`
+		Skipped    map[string]int64   `json:"cells_skipped"`
 		Energy     map[string]float64 `json:"energy_joules"`
 		Events     map[string]int64   `json:"recovery_events"`
 		Batches    int64              `json:"batches"`
@@ -334,8 +367,10 @@ func (m *Metrics) String() string {
 		ServeBatch int64              `json:"serve_batches,omitempty"`
 		ServeCoal  int64              `json:"serve_coalesced,omitempty"`
 		ServeRej   int64              `json:"serve_rejected,omitempty"`
-	}{m.records, m.solves, m.iterations, m.retries, m.energy, m.events, m.batches,
-		m.serveReqs, m.serveBatches, m.serveCoalesced, m.serveRejected}
+		ServeWarm  int64              `json:"serve_warm_starts,omitempty"`
+	}{m.records, m.solves, m.iterations, m.retries, m.cellsWritten, m.cellsSkipped,
+		m.energy, m.events, m.batches,
+		m.serveReqs, m.serveBatches, m.serveCoalesced, m.serveRejected, m.serveWarm}
 	b, err := json.Marshal(summary)
 	if err != nil {
 		return "{}"

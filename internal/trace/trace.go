@@ -83,6 +83,15 @@ type Record struct {
 	// WriteRetries is the cumulative write-verify corrective-pulse count
 	// for this problem so far.
 	WriteRetries int64
+	// CellsWritten is the cumulative device-programming operation count for
+	// this problem so far (the analog write traffic the iteration actually
+	// paid for).
+	CellsWritten int64
+	// CellsSkipped is the cumulative count of writes avoided by
+	// delta-programming for this problem so far: refreshes whose target
+	// moved on the write grid but stayed within the cell's delta level.
+	// Zero when delta-programming is disabled.
+	CellsSkipped int64
 	// NoiseEpoch keys the problem's cycle-noise stream (the batch
 	// problem index under the PR 4 determinism contract; 0 otherwise).
 	NoiseEpoch int64

@@ -294,6 +294,11 @@ type HardwareEstimate struct {
 	CellWrites  int64
 	AnalogOps   int64
 	Conversions int64
+	// CellsSkipped counts the physical programming pulses avoided by
+	// delta-programming (WithDeltaWriteBits): cells whose discretized level
+	// was unchanged since the last epoch-compatible write. Skipped writes
+	// cost nothing in the latency/energy estimate.
+	CellsSkipped int64
 }
 
 // BatchStats is the fabric-pool roll-up of one SolveBatch call, attached to

@@ -75,6 +75,7 @@ type options struct {
 	seed           int64
 	ioBits         int
 	writeBits      int
+	deltaBits      int
 	globalIORange  bool
 	alpha          float64
 	maxIterations  int
@@ -92,6 +93,7 @@ type options struct {
 	traced         bool
 	traceCap       int
 	traceJSONL     io.Writer
+	warmX, warmY   []float64
 
 	set map[string]bool
 }
@@ -131,6 +133,11 @@ func (o *options) validateFor(e Engine) error {
 			// Algorithm 1 engine; Algorithm 2 and the software engines solve
 			// strictly one problem at a time.
 			ok = e == EngineCrossbar
+		case "WithWarmStart":
+			// Warm starts seed an interior iterate: simplex walks vertices and
+			// Algorithm 2's constant-step scheme keeps no reusable interior
+			// state, so only the PDIP-family engines accept one.
+			ok = e == EngineCrossbar || e == EngineConic || e == EnginePDIP || e == EnginePDIPReduced
 		default: // crossbar hardware options
 			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale || e == EngineConic
 		}
@@ -200,6 +207,26 @@ func WithWriteBits(bits int) Option {
 		}
 		o.writeBits = bits
 		o.set["WithWriteBits"] = true
+		return nil
+	}
+}
+
+// WithDeltaWriteBits sets the delta-programming level grid for per-iteration
+// refreshes on the crossbar engines: a refresh whose target falls in the same
+// 2^bits-level conductance bin as the cell's current epoch-compatible state is
+// skipped entirely, cutting the O(N) write traffic that dominates iteration
+// cost. 0 disables delta-programming; the default is 8 bits, matching the
+// §4.1 I/O precision. Regardless of this setting, solves of problems with
+// second-order-cone rows run with delta-programming off: the dense
+// Nesterov–Todd scaling blocks are too tightly coupled for per-cell stale
+// errors. Pure LPs solve bit-identically on every crossbar engine.
+func WithDeltaWriteBits(bits int) Option {
+	return func(o *options) error {
+		if bits != 0 && (bits < 2 || bits > 24) {
+			return fmt.Errorf("%w: delta write bits %d", ErrInvalid, bits)
+		}
+		o.deltaBits = bits
+		o.set["WithDeltaWriteBits"] = true
 		return nil
 	}
 }
@@ -313,6 +340,31 @@ func WithParallelism(n int) Option {
 		}
 		o.parallelism = n
 		o.set["WithParallelism"] = true
+		return nil
+	}
+}
+
+// WithWarmStart seeds the solver's interior iterate from a previously
+// computed solution of a nearby problem (same dimensions, similar data) —
+// the repeated-solve scenario where only b or c drift between calls. The
+// primal point and duals are taken from prev; the slacks are re-derived from
+// each new problem's data and clamped to the strict interior, so even a
+// boundary-accurate previous optimum yields a usable seed, typically cutting
+// the iteration count well below a cold start. The warm start persists for
+// every solve on the handle until replaced or cleared via
+// Solver.SetWarmStart; prev's dimensions must match each solved problem or
+// that solve fails with ErrInvalid.
+//
+// Only the PDIP-family engines (EngineCrossbar, EngineConic, EnginePDIP,
+// EnginePDIPReduced) accept warm starts; simplex and the large-scale
+// constant-step engine reject the option with ErrIncompatibleOption.
+func WithWarmStart(prev *Solution) Option {
+	return func(o *options) error {
+		if prev == nil || len(prev.X) == 0 || len(prev.DualY) == 0 {
+			return fmt.Errorf("%w: warm start needs a solution with X and DualY", ErrInvalid)
+		}
+		o.warmX, o.warmY = prev.X, prev.DualY
+		o.set["WithWarmStart"] = true
 		return nil
 	}
 }
@@ -441,7 +493,38 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 			return nil, err
 		}
 	}
+	if o.set["WithWarmStart"] {
+		// validateFor admits WithWarmStart only for engines whose backend
+		// implements engine.WarmStarter, so the assertion cannot fail.
+		s.backend.(engine.WarmStarter).SetWarmStart(o.warmX, o.warmY)
+	}
 	return s, nil
+}
+
+// SetWarmStart replaces (or, with nil, clears) the handle's warm start: the
+// next solves seed their interior iterate from prev instead of the cold
+// all-ones start. See WithWarmStart for semantics and engine support. The
+// typical pattern is feeding each solve's solution into the next:
+//
+//	sol, _ := s.Solve(ctx, p)
+//	_ = s.SetWarmStart(sol)
+//	sol2, _ := s.Solve(ctx, pShifted)
+func (s *Solver) SetWarmStart(prev *Solution) error {
+	ws, ok := s.backend.(engine.WarmStarter)
+	if !ok {
+		return fmt.Errorf("WithWarmStart does not apply to engine %s: %w", s.engine, ErrIncompatibleOption)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev == nil {
+		ws.SetWarmStart(nil, nil)
+		return nil
+	}
+	if len(prev.X) == 0 || len(prev.DualY) == 0 {
+		return fmt.Errorf("%w: warm start needs a solution with X and DualY", ErrInvalid)
+	}
+	ws.SetWarmStart(prev.X, prev.DualY)
+	return nil
 }
 
 // buildCrossbarBackend wires the crossbar configuration into a core solver
@@ -449,9 +532,18 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 // every tiled fabric it builds on s (safe without locking: the factory only
 // runs inside backend calls made under s.mu).
 func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
+	deltaBits := o.deltaBits
+	if !o.set["WithDeltaWriteBits"] {
+		// Delta-programming defaults on at the I/O precision. The core
+		// disables it per solve for problems with SOC blocks (the conic NT
+		// rows cannot tolerate per-cell stale conductances), so pure LPs take
+		// the identical delta-programmed path on every crossbar engine.
+		deltaBits = 8
+	}
 	xcfg := crossbar.Config{
 		IOBits:          o.ioBits,
 		WriteBits:       o.writeBits,
+		DeltaWriteBits:  deltaBits,
 		GlobalIORange:   o.globalIORange,
 		CycleNoise:      o.cycleNoise,
 		WireResistance:  o.wireResistance,
@@ -669,6 +761,7 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 			CellWrites:   res.Counters.CellWrites,
 			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
 			Conversions:  res.Counters.IOConversions,
+			CellsSkipped: res.Counters.CellSkips,
 		}
 	}
 	if b := res.Batch; b != nil {

@@ -58,6 +58,12 @@ type TraceRecord struct {
 	// marginals on iteration records, solve totals on the done record.
 	// NoiseEpoch is the deterministic per-problem noise stream id.
 	WriteRetries int64
+	// CellsWritten / CellsSkipped are the solve's running device-programming
+	// count and the writes avoided by delta-programming (cumulative on
+	// iteration records, solve totals on the done record; zero for software
+	// engines or with delta-programming disabled).
+	CellsWritten int64
+	CellsSkipped int64
 	NoiseEpoch   int64
 	EnergyJoules float64
 }

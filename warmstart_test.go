@@ -1,0 +1,280 @@
+package memlp
+
+// Tests for the public warm-start surface: the WithWarmStart option, the
+// Solver.SetWarmStart method, per-engine compatibility, edge cases around
+// degraded or mismatched previous solutions, and the bit-identity contract
+// for warm-started pooled batches.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestWithWarmStartEngineCompatibility: the option must be rejected at
+// construction for engines with no interior iterate to seed, and the method
+// must report ErrIncompatibleOption for the same engines.
+func TestWithWarmStartEngineCompatibility(t *testing.T) {
+	prev := &Solution{X: []float64{1}, DualY: []float64{1}}
+	for _, eng := range []Engine{EngineSimplex, EngineCrossbarLargeScale} {
+		if _, err := NewSolver(eng, WithWarmStart(prev)); !errors.Is(err, ErrIncompatibleOption) {
+			t.Errorf("%s with WithWarmStart: err = %v, want ErrIncompatibleOption", eng, err)
+		}
+		s, err := NewSolver(eng)
+		if err != nil {
+			t.Fatalf("NewSolver(%s): %v", eng, err)
+		}
+		if err := s.SetWarmStart(prev); !errors.Is(err, ErrIncompatibleOption) {
+			t.Errorf("%s SetWarmStart: err = %v, want ErrIncompatibleOption", eng, err)
+		}
+	}
+	for _, eng := range []Engine{EngineCrossbar, EngineConic, EnginePDIP, EnginePDIPReduced} {
+		if _, err := NewSolver(eng, WithWarmStart(prev)); err != nil {
+			t.Errorf("%s with WithWarmStart: %v", eng, err)
+		}
+	}
+}
+
+// TestWithWarmStartValidation covers the option's own argument checks and the
+// method's nil-clears contract.
+func TestWithWarmStartValidation(t *testing.T) {
+	if _, err := NewSolver(EngineCrossbar, WithWarmStart(nil)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("WithWarmStart(nil): err = %v, want ErrInvalid", err)
+	}
+	if _, err := NewSolver(EngineCrossbar, WithWarmStart(&Solution{X: []float64{1}})); !errors.Is(err, ErrInvalid) {
+		t.Errorf("WithWarmStart(no DualY): err = %v, want ErrInvalid", err)
+	}
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	if err := s.SetWarmStart(&Solution{DualY: []float64{1}}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("SetWarmStart(no X): err = %v, want ErrInvalid", err)
+	}
+	if err := s.SetWarmStart(nil); err != nil {
+		t.Errorf("SetWarmStart(nil) should clear, got %v", err)
+	}
+}
+
+// TestWarmStartRepeatSolve: the headline hot-path behavior — re-solving a
+// problem seeded from its own solution stays optimal and takes no more
+// iterations than the cold solve, on every warm-capable engine.
+func TestWarmStartRepeatSolve(t *testing.T) {
+	prob, err := GenerateFeasible(12, 0, 17)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	ctx := context.Background()
+	for _, eng := range []Engine{EngineCrossbar, EnginePDIP, EnginePDIPReduced} {
+		var opts []Option
+		if eng == EngineCrossbar {
+			opts = append(opts, WithSeed(3))
+		}
+		s, err := NewSolver(eng, opts...)
+		if err != nil {
+			t.Fatalf("NewSolver(%s): %v", eng, err)
+		}
+		cold, err := s.Solve(ctx, prob)
+		if err != nil {
+			t.Fatalf("%s cold Solve: %v", eng, err)
+		}
+		if cold.Status != StatusOptimal {
+			t.Fatalf("%s cold status = %v, want optimal", eng, cold.Status)
+		}
+		if err := s.SetWarmStart(cold); err != nil {
+			t.Fatalf("%s SetWarmStart: %v", eng, err)
+		}
+		warm, err := s.Solve(ctx, prob)
+		if err != nil {
+			t.Fatalf("%s warm Solve: %v", eng, err)
+		}
+		if warm.Status != StatusOptimal {
+			t.Fatalf("%s warm status = %v, want optimal", eng, warm.Status)
+		}
+		if warm.Iterations > cold.Iterations {
+			t.Errorf("%s: warm solve took %d iterations, cold took %d",
+				eng, warm.Iterations, cold.Iterations)
+		}
+		// The analog engine re-quantizes the fabric each solve, so warm and
+		// cold optima agree to hardware precision, not to float precision.
+		if math.Abs(warm.Objective-cold.Objective) > 1e-2*(1+math.Abs(cold.Objective)) {
+			t.Errorf("%s: warm objective %v, cold %v", eng, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestWarmStartMismatchedDimensions: a previous solution from a
+// different-shaped problem must fail the solve with ErrInvalid.
+func TestWarmStartMismatchedDimensions(t *testing.T) {
+	small, err := GenerateFeasible(6, 0, 1)
+	if err != nil {
+		t.Fatalf("GenerateFeasible(small): %v", err)
+	}
+	big, err := GenerateFeasible(14, 0, 2)
+	if err != nil {
+		t.Fatalf("GenerateFeasible(big): %v", err)
+	}
+	ctx := context.Background()
+	s, err := NewSolver(EngineCrossbar)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	prev, err := s.Solve(ctx, small)
+	if err != nil {
+		t.Fatalf("Solve(small): %v", err)
+	}
+	if err := s.SetWarmStart(prev); err != nil {
+		t.Fatalf("SetWarmStart: %v", err)
+	}
+	if _, err := s.Solve(ctx, big); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("warm solve with mismatched dims: err = %v, want ErrInvalid", err)
+	}
+	if err := s.SetWarmStart(nil); err != nil {
+		t.Fatalf("SetWarmStart(nil): %v", err)
+	}
+	if sol, err := s.Solve(ctx, big); err != nil || sol.Status != StatusOptimal {
+		t.Fatalf("Solve after clear: sol=%v err=%v", sol, err)
+	}
+}
+
+// TestWarmStartDegradedPrevious: warm vectors polluted by NaN (a degraded or
+// failed previous attempt) must silently fall back to the cold trajectory.
+func TestWarmStartDegradedPrevious(t *testing.T) {
+	prob, err := GenerateFeasible(10, 0, 9)
+	if err != nil {
+		t.Fatalf("GenerateFeasible: %v", err)
+	}
+	ctx := context.Background()
+	s, err := NewSolver(EngineCrossbar, WithSeed(4))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	cold, err := s.Solve(ctx, prob)
+	if err != nil {
+		t.Fatalf("cold Solve: %v", err)
+	}
+	bad := &Solution{
+		X:     make([]float64, prob.NumVariables()),
+		DualY: make([]float64, prob.NumConstraints()),
+	}
+	for i := range bad.X {
+		bad.X[i] = 1
+	}
+	bad.X[0] = math.NaN()
+	for i := range bad.DualY {
+		bad.DualY[i] = 1
+	}
+	if err := s.SetWarmStart(bad); err != nil {
+		t.Fatalf("SetWarmStart: %v", err)
+	}
+	warm, err := s.Solve(ctx, prob)
+	if err != nil {
+		t.Fatalf("warm Solve: %v", err)
+	}
+	if warm.Status != cold.Status || warm.Iterations != cold.Iterations || warm.Objective != cold.Objective {
+		t.Errorf("degraded warm start changed the trajectory: %v/%d/%v, cold %v/%d/%v",
+			warm.Status, warm.Iterations, warm.Objective, cold.Status, cold.Iterations, cold.Objective)
+	}
+}
+
+// TestWarmStartConicSolve: warm-starting the conic engine re-enters through
+// the interior clamp and still reaches the cone-constrained optimum.
+func TestWarmStartConicSolve(t *testing.T) {
+	rows := [][]float64{
+		{1, 1},
+		{0, 0},
+		{1, 0},
+		{0, 1},
+	}
+	prob, err := NewConicProblem("warm-socp", []float64{1, 1}, rows, []float64{5, 3, 0, 0},
+		[]Cone{{Type: ConeNonNeg, Dim: 1}, {Type: ConeSOC, Dim: 3}})
+	if err != nil {
+		t.Fatalf("NewConicProblem: %v", err)
+	}
+	ctx := context.Background()
+	s, err := NewSolver(EngineConic)
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	cold, err := s.Solve(ctx, prob)
+	if err != nil {
+		t.Fatalf("cold Solve: %v", err)
+	}
+	if cold.Status != StatusOptimal {
+		t.Fatalf("cold status = %v, want optimal", cold.Status)
+	}
+	if err := s.SetWarmStart(cold); err != nil {
+		t.Fatalf("SetWarmStart: %v", err)
+	}
+	warm, err := s.Solve(ctx, prob)
+	if err != nil {
+		t.Fatalf("warm Solve: %v", err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status = %v, want optimal", warm.Status)
+	}
+	want := 3 * math.Sqrt2
+	if math.Abs(warm.Objective-want) > 5e-3*(1+want) {
+		t.Errorf("warm objective = %v, want %v", warm.Objective, want)
+	}
+}
+
+// TestWarmStartBatchBitIdenticalAcrossWidths extends the public pool
+// determinism contract to warm-started batches under full stochastic
+// hardware: variation, cycle noise, delta programming, and a warm seed must
+// still produce bit-identical Solutions at every width.
+func TestWarmStartBatchBitIdenticalAcrossWidths(t *testing.T) {
+	problems := poolBatch(t, 8, 10, 33)
+	ctx := context.Background()
+
+	seedSolver, err := NewSolver(EngineCrossbar,
+		WithVariation(0.08), WithCycleNoise(0.5), WithSeed(13))
+	if err != nil {
+		t.Fatalf("NewSolver(seed): %v", err)
+	}
+	prior, err := seedSolver.Solve(ctx, problems[0])
+	if err != nil {
+		t.Fatalf("seed Solve: %v", err)
+	}
+
+	var ref []*Solution
+	for _, par := range []int{1, 2, 8} {
+		s, err := NewSolver(EngineCrossbar,
+			WithParallelism(par), WithVariation(0.08), WithCycleNoise(0.5), WithSeed(13))
+		if err != nil {
+			t.Fatalf("NewSolver(par=%d): %v", par, err)
+		}
+		if err := s.SetWarmStart(prior); err != nil {
+			t.Fatalf("SetWarmStart(par=%d): %v", par, err)
+		}
+		sols, err := s.SolveBatch(ctx, problems)
+		if err != nil {
+			t.Fatalf("SolveBatch(par=%d): %v", par, err)
+		}
+		if ref == nil {
+			ref = sols
+			continue
+		}
+		for i, sol := range sols {
+			want := ref[i]
+			if sol.Status != want.Status || sol.Iterations != want.Iterations {
+				t.Errorf("par=%d problem %d: %v/%d, want %v/%d",
+					par, i, sol.Status, sol.Iterations, want.Status, want.Iterations)
+			}
+			if sol.Objective != want.Objective {
+				t.Errorf("par=%d problem %d: objective %v, want bit-identical %v", par, i, sol.Objective, want.Objective)
+			}
+			for j := range want.X {
+				if sol.X[j] != want.X[j] {
+					t.Fatalf("par=%d problem %d: X[%d] = %v, want bit-identical %v", par, i, j, sol.X[j], want.X[j])
+				}
+			}
+			for j := range want.DualY {
+				if sol.DualY[j] != want.DualY[j] {
+					t.Fatalf("par=%d problem %d: DualY[%d] = %v, want bit-identical %v", par, i, j, sol.DualY[j], want.DualY[j])
+				}
+			}
+		}
+	}
+}
