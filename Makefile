@@ -1,7 +1,7 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bench-serve bench-hotpath bless-traces
+.PHONY: all build test race lint vet memlpvet vuln cover bench-batch bench-trace bench-serve bench-hotpath bench-pdhg bless-traces
 
 all: build test lint
 
@@ -67,6 +67,14 @@ bench-trace:
 bench-hotpath:
 	$(GO) test . ./internal/linalg/ -run '^$$' \
 		-bench 'BenchmarkDeltaWrites|BenchmarkWarmStart|BenchmarkLDLT|BenchmarkLUKKT' \
+		-benchtime 20x -benchmem
+
+# Tiled-PDHG worker-grid benchmarks (the BENCH_PDHG.json source): one
+# 24x18 solve on a 3x3 block grid of 8-wide crossbars at worker grids of
+# 1, 4, and 16 goroutines. Results are bit-identical across grids; the
+# sweep overhead is the measured signal.
+bench-pdhg:
+	$(GO) test . -run '^$$' -bench 'BenchmarkPDHGTiles' \
 		-benchtime 20x -benchmem
 
 # Regenerate the golden iteration traces under testdata/traces/ from the

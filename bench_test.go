@@ -63,6 +63,39 @@ func BenchmarkBatchParallel2(b *testing.B) { benchmarkBatchParallel(b, 2) }
 func BenchmarkBatchParallel4(b *testing.B) { benchmarkBatchParallel(b, 4) }
 func BenchmarkBatchParallel8(b *testing.B) { benchmarkBatchParallel(b, 8) }
 
+// --- Tiled PDHG worker grids (make bench-pdhg → BENCH_PDHG.json) -----------
+
+// benchmarkPDHGTiles measures one full restarted-PDHG solve of a 24x18
+// instance tiled into a 3x3 grid of 8-wide crossbar blocks, at a fixed
+// worker-grid side g (g² goroutines sweep the 9 blocks). Results are
+// bit-identical for every g — the grid is pure execution parallelism — so
+// the three sizes measure only the halo-exchange scaling of the sweep.
+func benchmarkPDHGTiles(b *testing.B, g int) {
+	p, err := GenerateFeasible(24, 18, 71)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(EnginePDHG, WithSeed(71), WithNoC("mesh", 8), WithTiles(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDHGTiles1(b *testing.B)  { benchmarkPDHGTiles(b, 1) }
+func BenchmarkPDHGTiles4(b *testing.B)  { benchmarkPDHGTiles(b, 2) }
+func BenchmarkPDHGTiles16(b *testing.B) { benchmarkPDHGTiles(b, 4) }
+
 // BenchmarkSolveOneShot is the baseline the handle is measured against: the
 // package-level convenience wrapper rebuilds solver and fabric every call.
 func BenchmarkSolveOneShot(b *testing.B) {

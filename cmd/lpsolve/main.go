@@ -9,8 +9,9 @@
 //
 // Engines: crossbar (the paper's Algorithm 1), crossbar-large-scale
 // (Algorithm 2), conic (Algorithm 1 extended to second-order cone programs),
-// pdip (software full-Newton baseline), pdip-reduced (software reduced-KKT
-// baseline), simplex.
+// pdhg (distributed first-order PDHG tiled across many crossbars — use
+// -tiles to set the worker grid), pdip (software full-Newton baseline),
+// pdip-reduced (software reduced-KKT baseline), simplex.
 //
 // With more than one problem file the crossbar engine solves them as one
 // batch on a sharded fabric pool: the problems must share a constraint
@@ -42,13 +43,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | conic | pdip | pdip-reduced | simplex")
+		engineName  = fs.String("engine", "crossbar", "solver engine: crossbar | crossbar-large-scale | conic | pdhg | pdip | pdip-reduced | simplex")
 		varPct      = fs.Float64("variation", 0, "process variation magnitude for crossbar engines (e.g. 0.1)")
 		deltaBits   = fs.Int("delta-bits", 8, "delta-programming level grid width for crossbar engines; 0 rewrites every cell each refresh")
 		seed        = fs.Int64("seed", 1, "random seed for variation draws")
 		nocTopo     = fs.String("noc", "", "run on a tiled NoC fabric: hierarchical | mesh")
 		tile        = fs.Int("tile", 512, "NoC tile (crossbar) size")
 		parallel    = fs.Int("parallel", 0, "fabric-pool width for multi-file batches (0 = one shard per CPU; crossbar engine only)")
+		tiles       = fs.Int("tiles", 0, "PDHG worker-grid side: tiles² goroutines sweep the crossbar tiles (pdhg engine only; results are identical for every value)")
 		verbose     = fs.Bool("v", false, "print the solution vector")
 		format      = fs.String("format", "", "input format: text (default) | mps; .mps files are auto-detected")
 		traceFile   = fs.String("trace", "", "write per-iteration trace records as JSON Lines to FILE (- = stdout)")
@@ -73,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// software engine would be rejected by memlp.NewSolver. Batching (and so
 	// -parallel) is Algorithm 1 only.
 	crossbarEngine := engine == memlp.EngineCrossbar || engine == memlp.EngineCrossbarLargeScale ||
-		engine == memlp.EngineConic
+		engine == memlp.EngineConic || engine == memlp.EnginePDHG
 	var opts []memlp.Option
 	if crossbarEngine {
 		if *varPct > 0 {
@@ -86,6 +88,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	} else if *varPct > 0 || *nocTopo != "" || *deltaBits != 8 {
 		fmt.Fprintf(stderr, "lpsolve: -variation, -delta-bits, and -noc require a crossbar engine\n")
+		return 2
+	}
+	if engine == memlp.EnginePDHG {
+		if *tiles > 0 {
+			opts = append(opts, memlp.WithTiles(*tiles))
+		}
+	} else if *tiles != 0 {
+		fmt.Fprintf(stderr, "lpsolve: -tiles requires the pdhg engine\n")
 		return 2
 	}
 	if engine == memlp.EngineCrossbar {
@@ -301,6 +311,8 @@ func engineByName(name string) (memlp.Engine, bool) {
 		return memlp.EnginePDIPReduced, true
 	case "simplex":
 		return memlp.EngineSimplex, true
+	case "pdhg":
+		return memlp.EnginePDHG, true
 	default:
 		return 0, false
 	}

@@ -117,7 +117,7 @@ func TestRunMissingFile(t *testing.T) {
 }
 
 func TestEngineByName(t *testing.T) {
-	for _, name := range []string{"crossbar", "crossbar-large-scale", "conic", "pdip", "pdip-reduced", "simplex"} {
+	for _, name := range []string{"crossbar", "crossbar-large-scale", "conic", "pdhg", "pdip", "pdip-reduced", "simplex"} {
 		if _, ok := engineByName(name); !ok {
 			t.Errorf("engineByName(%q) not found", name)
 		}

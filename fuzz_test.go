@@ -78,7 +78,7 @@ func FuzzSolve(f *testing.F) {
 			return
 		}
 
-		for _, eng := range []Engine{EnginePDIPReduced, EngineSimplex, EngineCrossbar} {
+		for _, eng := range []Engine{EnginePDIPReduced, EngineSimplex, EngineCrossbar, EnginePDHG} {
 			var opts []Option
 			if eng != EngineSimplex {
 				opts = append(opts, WithMaxIterations(40))

@@ -131,6 +131,18 @@ func goldenTraceCases() []goldenTraceCase {
 		{name: "conic-gen12", engine: EngineConic,
 			opts:     []Option{WithSeed(15), WithVariation(0.08), WithCycleNoise(0.5)},
 			problems: single(func(t testing.TB) *Problem { return feasibleSOCP(t, 12, 2, 3, 43) })},
+		// Restarted PDHG on the tiled fabric. The clean-hardware case pins the
+		// monitored-KKT decimation and the digital confirmation point; the
+		// noisy tiled case pins the (block, slot) noise-epoch derivation, the
+		// adaptive-restart events, and the refresh accounting across a 2x2
+		// worker grid (grid choice must not — and does not — affect the trace).
+		{name: "pdhg-diet", engine: EnginePDHG,
+			opts:     []Option{WithSeed(7)},
+			problems: single(dietLP)},
+		{name: "pdhg-gen12-tiled", engine: EnginePDHG,
+			opts: []Option{WithSeed(5), WithVariation(0.05), WithCycleNoise(0.25),
+				WithNoC("mesh", 4), WithTiles(2), WithMaxIterations(600)},
+			problems: single(func(t testing.TB) *Problem { return feasibleLP(t, 12, 29) })},
 		// A sharded batch: three instances on a two-replica pool. The golden
 		// pins the per-problem noise epochs and the input-order aggregation.
 		{name: "crossbar-batch", engine: EngineCrossbar, batch: true,

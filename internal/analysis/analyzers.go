@@ -7,7 +7,8 @@ package analysis
 //
 //   - floatcmp everywhere, with internal/linalg hosting the approved
 //     //memlp:tolerance-helper functions;
-//   - ctxloop on the iteration engines (internal/core, internal/engine);
+//   - ctxloop on the iteration engines (internal/core, internal/engine,
+//     internal/pdhg);
 //   - rawwrite protecting internal/crossbar's realized-conductance matrix
 //     (gt) and program-and-verify cache (progTarget);
 //   - nanguard on the public memlp package;
@@ -41,7 +42,7 @@ func Default() []*Analyzer {
 			HelperPkgs: []string{"internal/linalg"},
 		}),
 		Ctxloop(CtxloopConfig{
-			Pkgs: []string{"internal/core", "internal/engine"},
+			Pkgs: []string{"internal/core", "internal/engine", "internal/pdhg"},
 		}),
 		Rawwrite(RawwriteConfig{
 			StatePkgs: []string{"internal/crossbar"},
@@ -54,12 +55,13 @@ func Default() []*Analyzer {
 		}),
 		Hotpath(),
 		Tracesink(TracesinkConfig{
-			Pkgs: []string{"internal/cone", "internal/core", "internal/engine", "internal/pdip", "internal/simplex"},
+			Pkgs: []string{"internal/cone", "internal/core", "internal/engine", "internal/pdhg", "internal/pdip", "internal/simplex"},
 		}),
 		Detorder(DetorderConfig{
 			Pkgs: []string{
 				"internal/core", "internal/engine", "internal/linalg",
 				"internal/cone", "internal/trace", "internal/serve",
+				"internal/pdhg",
 			},
 		}),
 		Wallclock(WallclockConfig{
@@ -68,7 +70,7 @@ func Default() []*Analyzer {
 				"internal/cone", "internal/trace", "internal/serve",
 				"internal/crossbar", "internal/variation", "internal/pdip",
 				"internal/simplex", "internal/noc", "internal/memristor",
-				"internal/quant", "internal/lp",
+				"internal/quant", "internal/lp", "internal/pdhg",
 			},
 		}),
 		Guardedby(),
@@ -78,7 +80,7 @@ func Default() []*Analyzer {
 				"internal/linalg", "internal/cone", "internal/trace",
 				"internal/crossbar", "internal/variation", "internal/pdip",
 				"internal/simplex", "internal/noc", "internal/memristor",
-				"internal/quant", "cmd/memlpd",
+				"internal/quant", "cmd/memlpd", "internal/pdhg",
 			},
 		}),
 	}

@@ -7,6 +7,7 @@ import (
 	"github.com/memlp/memlp/internal/core"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/pdhg"
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/simplex"
 	"github.com/memlp/memlp/internal/trace"
@@ -155,6 +156,45 @@ func (b PDIP) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
 
 // SetWarmStart implements WarmStarter by forwarding to the software solver.
 func (b PDIP) SetWarmStart(x0, y0 linalg.Vector) { b.S.SetWarmStart(x0, y0) }
+
+// PDHG adapts pdhg.Solver, the distributed first-order engine that tiles
+// the constraint matrix across a grid of crossbars connected by the NoC.
+type PDHG struct{ S *pdhg.Solver }
+
+// Name implements Backend.
+func (b PDHG) Name() string { return "pdhg" }
+
+// Solve implements Backend.
+func (b PDHG) Solve(ctx context.Context, p *lp.Problem) (*Result, error) {
+	start := wallClock()
+	res, err := b.S.SolveContext(ctx, p)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{
+		Status:              res.Status,
+		X:                   res.X,
+		Y:                   res.Y,
+		Objective:           res.Objective,
+		Iterations:          res.Iterations,
+		PrimalInfeasibility: res.PrimalInfeasibility,
+		DualInfeasibility:   res.DualInfeasibility,
+		DualityGap:          res.DualityGap,
+		WallTime:            wallSince(start),
+		Analog:              true,
+		Counters:            res.Counters,
+		MatrixSize:          res.MatrixSize,
+		NoC:                 res.NoC,
+		Restarts:            res.Restarts,
+		TilesRefreshed:      res.TilesRefreshed,
+		Diagnostics: &core.Diagnostics{
+			WriteRetries: res.Counters.WriteRetries,
+			Attempts:     1,
+			EnergyJoules: res.EnergyJoules,
+		},
+		Trace: stampEngine(res.Trace, b.Name()),
+	}, err
+}
 
 // Simplex adapts simplex.Solver.
 type Simplex struct{ S *simplex.Solver }

@@ -14,6 +14,7 @@ import (
 	"github.com/memlp/memlp/internal/crossbar"
 	"github.com/memlp/memlp/internal/linalg"
 	"github.com/memlp/memlp/internal/lp"
+	"github.com/memlp/memlp/internal/noc"
 	"github.com/memlp/memlp/internal/trace"
 )
 
@@ -43,6 +44,17 @@ type Result struct {
 	Counters   crossbar.Counters
 	MatrixSize int
 	Resolves   int
+
+	// NoC is the interconnect scatter/gather activity of a tiled solve
+	// (zero for single-fabric engines, which account NoC traffic at the
+	// public layer instead).
+	NoC noc.Stats
+
+	// Restarts and TilesRefreshed are populated by the distributed PDHG
+	// engine: adaptive restarts taken, and canonical tiles re-programmed by
+	// the periodic conductance refresh.
+	Restarts       int
+	TilesRefreshed int64
 
 	// Diagnostics carries fault and recovery telemetry from the crossbar
 	// engines; non-nil only when a fault model or write-verify is configured.

@@ -187,10 +187,15 @@ func (f *TiledFabric) Capacity() int {
 // hops returns the transfer distance (in NoC hops) between the controller
 // and tile (r, c), per the configured topology.
 func (f *TiledFabric) hops(r, c int) int {
-	switch f.cfg.Topology {
+	return hopCount(f.cfg.Topology, f.gridR*f.gridC, r, c)
+}
+
+// hopCount is the shared topology hop model: the transfer distance between
+// the controller and tile (r, c) of a grid holding tiles crossbars.
+func hopCount(top Topology, tiles, r, c int) int {
+	switch top {
 	case Hierarchical:
 		// Quad-tree: depth levels from root to leaf.
-		tiles := f.gridR * f.gridC
 		if tiles <= 1 {
 			return 1
 		}

@@ -1,0 +1,322 @@
+package pdhg
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/memlp/memlp/internal/crossbar"
+	"github.com/memlp/memlp/internal/linalg"
+	"github.com/memlp/memlp/internal/noc"
+)
+
+// Each canonical block owns four physical crossbars: the differential pair
+// holding the block's positive and negative parts (crossbars store only
+// non-negative conductances, so A = A⁺ − A⁻ per block), and the pair
+// programmed with the transposed parts for the adjoint mat-vec (the array
+// has no transpose read mode).
+const (
+	slotPos = iota
+	slotNeg
+	slotPosT
+	slotNegT
+	slots
+)
+
+// tileEpoch derives the noise epoch of one physical crossbar from its
+// canonical block index and slot. Applied via SetNoiseEpoch BEFORE the tile
+// is programmed, it makes every stochastic draw — static variation, cycle
+// noise, fault write noise — a pure function of (base seed, block index,
+// slot), independent of which worker goroutine later drives the tile and of
+// any solve history. This mirrors the fabric pool's (seed, problem index)
+// contract from DESIGN.md D12 and is what pins PDHG results bit-identical
+// across worker-grid shapes.
+func tileEpoch(blockIndex, slot int) int64 {
+	return int64(blockIndex*slots + slot)
+}
+
+// block is one canonical tile of the problem matrix: the submatrix
+// A[br·t:…, bc·t:…] and the four crossbars realizing ±A_block and ±A_blockᵀ.
+// Per-pass partial outputs land in block-owned buffers, so concurrent
+// workers never share writable state (the axOut/atyOut slots are the
+// halo-exchange staging area the controller reduces from).
+type block struct {
+	index      int
+	br, bc     int
+	rows, cols int
+
+	pos, neg   *crossbar.Crossbar
+	posT, negT *crossbar.Crossbar
+
+	// Retained programming targets, for the periodic conductance refresh.
+	aPos, aNeg   *linalg.Matrix
+	aPosT, aNegT *linalg.Matrix
+
+	axOut  linalg.Vector // partial A·x segment (rows), one pass
+	atyOut linalg.Vector // partial Aᵀ·y segment (cols), one pass
+	err    error         // first crossbar error of the current pass
+}
+
+// fabric is the canonical tiling of one problem matrix across the NoC. The
+// tiling is fixed by the tile size alone — the worker grid only decides how
+// many goroutines sweep the blocks, never how the matrix is cut — so every
+// floating-point result, stochastic draw, and interconnect count is
+// independent of the grid shape.
+type fabric struct {
+	m, n   int
+	t      int
+	bRows  int
+	bCols  int
+	blocks []*block // row-major canonical order
+	router *noc.Router
+
+	tilesRefreshed int64
+}
+
+// newFabric tiles a into t×t canonical blocks and programs the per-block
+// crossbar quads in canonical order on the calling goroutine.
+func newFabric(a *linalg.Matrix, ncfg noc.Config, xcfg crossbar.Config) (*fabric, error) {
+	m, n := a.Rows(), a.Cols()
+	// Probe router: resolves the config defaults (tile size, hop costs) so
+	// the block grid can be derived before the real router is sized.
+	probe, err := noc.NewRouter(ncfg, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	ncfg = probe.Config()
+	t := ncfg.TileSize
+	router, err := noc.NewRouter(ncfg, (m+t-1)/t, (n+t-1)/t)
+	if err != nil {
+		return nil, err
+	}
+	f := &fabric{
+		m:      m,
+		n:      n,
+		t:      t,
+		bRows:  (m + t - 1) / t,
+		bCols:  (n + t - 1) / t,
+		router: router,
+	}
+	f.blocks = make([]*block, 0, f.bRows*f.bCols)
+	for br := 0; br < f.bRows; br++ {
+		for bc := 0; bc < f.bCols; bc++ {
+			b, err := f.newBlock(a, br, bc, xcfg)
+			if err != nil {
+				return nil, err
+			}
+			f.blocks = append(f.blocks, b)
+		}
+	}
+	return f, nil
+}
+
+func (f *fabric) newBlock(a *linalg.Matrix, br, bc int, xcfg crossbar.Config) (*block, error) {
+	rows := minInt(f.t, f.m-br*f.t)
+	cols := minInt(f.t, f.n-bc*f.t)
+	b := &block{
+		index:  br*f.bCols + bc,
+		br:     br,
+		bc:     bc,
+		rows:   rows,
+		cols:   cols,
+		axOut:  linalg.NewVector(rows),
+		atyOut: linalg.NewVector(cols),
+	}
+	b.aPos = linalg.NewMatrix(rows, cols)
+	b.aNeg = linalg.NewMatrix(rows, cols)
+	b.aPosT = linalg.NewMatrix(cols, rows)
+	b.aNegT = linalg.NewMatrix(cols, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := a.At(br*f.t+i, bc*f.t+j)
+			if v > 0 {
+				b.aPos.Set(i, j, v)
+				b.aPosT.Set(j, i, v)
+			} else if v < 0 {
+				b.aNeg.Set(i, j, -v)
+				b.aNegT.Set(j, i, -v)
+			}
+		}
+	}
+	var err error
+	if b.pos, err = f.buildTile(b.index, slotPos, xcfg, b.aPos); err != nil {
+		return nil, err
+	}
+	if b.neg, err = f.buildTile(b.index, slotNeg, xcfg, b.aNeg); err != nil {
+		return nil, err
+	}
+	if b.posT, err = f.buildTile(b.index, slotPosT, xcfg, b.aPosT); err != nil {
+		return nil, err
+	}
+	if b.negT, err = f.buildTile(b.index, slotNegT, xcfg, b.aNegT); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// buildTile constructs and programs one physical crossbar. The variation
+// model is cloned per tile (independent streams, one base seed) and the
+// fault model's seed is offset by the tile epoch, so defect placement and
+// every noise draw are a pure function of (seed, block index, slot).
+func (f *fabric) buildTile(blockIndex, slot int, xcfg crossbar.Config, target *linalg.Matrix) (*crossbar.Crossbar, error) {
+	epoch := tileEpoch(blockIndex, slot)
+	cfg := xcfg
+	cfg.Size = f.t
+	if cfg.Variation != nil {
+		cfg.Variation = cfg.Variation.Clone()
+	}
+	if cfg.Faults != nil {
+		fm := *cfg.Faults
+		fm.Seed += epoch + 1
+		cfg.Faults = &fm
+	}
+	xb, err := crossbar.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pdhg: building tile (block %d, slot %d): %w", blockIndex, slot, err)
+	}
+	xb.SetNoiseEpoch(epoch)
+	if err := xb.Program(target); err != nil {
+		return nil, fmt.Errorf("pdhg: programming tile (block %d, slot %d): %w", blockIndex, slot, err)
+	}
+	return xb, nil
+}
+
+// matVec computes out ← A·x on the tiled fabric: the controller scatters
+// the input segments across the NoC, the worker grid runs every block's
+// differential analog multiply into block-owned staging buffers, and after
+// the join barrier the controller gathers the partials and reduces them in
+// canonical block order. The fixed reduction order keeps the floating-point
+// sum — and therefore the whole trajectory — identical for every worker
+// count.
+func (f *fabric) matVec(out, x linalg.Vector, workers int) error {
+	for _, b := range f.blocks {
+		f.router.Scatter(b.br, b.bc, b.cols)
+	}
+	f.sweep(workers, func(b *block) error {
+		seg := x[b.bc*f.t : b.bc*f.t+b.cols]
+		return b.differentialMatVec(b.pos, b.neg, b.axOut, seg)
+	})
+	for _, b := range f.blocks {
+		f.router.Gather(b.br, b.bc, b.rows)
+		if b.err != nil {
+			return b.err
+		}
+	}
+	out.Fill(0)
+	for _, b := range f.blocks {
+		reduceInto(out[b.br*f.t:b.br*f.t+b.rows], b.axOut)
+	}
+	return nil
+}
+
+// matVecT computes out ← Aᵀ·y, the adjoint half-iteration, on the
+// transposed crossbar pair of each block; same halo-exchange structure as
+// matVec with the roles of rows and columns swapped.
+func (f *fabric) matVecT(out, y linalg.Vector, workers int) error {
+	for _, b := range f.blocks {
+		f.router.Scatter(b.br, b.bc, b.rows)
+	}
+	f.sweep(workers, func(b *block) error {
+		seg := y[b.br*f.t : b.br*f.t+b.rows]
+		return b.differentialMatVec(b.posT, b.negT, b.atyOut, seg)
+	})
+	for _, b := range f.blocks {
+		f.router.Gather(b.br, b.bc, b.cols)
+		if b.err != nil {
+			return b.err
+		}
+	}
+	out.Fill(0)
+	for _, b := range f.blocks {
+		reduceInto(out[b.bc*f.t:b.bc*f.t+b.cols], b.atyOut)
+	}
+	return nil
+}
+
+// sweep runs fn over every block on the worker grid: worker w owns blocks
+// w, w+workers, w+2·workers, … so ownership is disjoint and each crossbar
+// is driven by exactly one goroutine per pass. The WaitGroup join is the
+// barrier between half-iterations.
+func (f *fabric) sweep(workers int, fn func(*block) error) {
+	if workers > len(f.blocks) {
+		workers = len(f.blocks)
+	}
+	if workers <= 1 {
+		for _, b := range f.blocks {
+			b.err = fn(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(f.blocks); k += workers {
+				b := f.blocks[k]
+				b.err = fn(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// differentialMatVec runs the block's differential analog multiply
+// out ← pos·seg − neg·seg. The crossbar's MatVec result is scratch-owned,
+// so the positive partial is copied into the block's staging buffer before
+// the negative array runs.
+func (b *block) differentialMatVec(pos, neg *crossbar.Crossbar, out, seg linalg.Vector) error {
+	pv, err := pos.MatVec(seg)
+	if err != nil {
+		return fmt.Errorf("pdhg: block %d mat-vec: %w", b.index, err)
+	}
+	copy(out, pv)
+	nv, err := neg.MatVec(seg)
+	if err != nil {
+		return fmt.Errorf("pdhg: block %d mat-vec: %w", b.index, err)
+	}
+	subInto(out, nv)
+	return nil
+}
+
+// refresh re-programs every tile against conductance drift: each crossbar
+// is rebased to its own (unchanged) epoch and rewritten with its original
+// target, so the realized conductances — and every noise draw — come out
+// identical to the original programming. Numerically a no-op, but the write
+// traffic and energy are honestly accounted, which is the point: the trace
+// shows what a real deployment pays to keep tiles fresh.
+func (f *fabric) refresh() error {
+	for _, b := range f.blocks {
+		quads := [slots]struct {
+			xb  *crossbar.Crossbar
+			tgt *linalg.Matrix
+		}{
+			{b.pos, b.aPos}, {b.neg, b.aNeg}, {b.posT, b.aPosT}, {b.negT, b.aNegT},
+		}
+		for slot, q := range quads {
+			q.xb.SetNoiseEpoch(tileEpoch(b.index, slot))
+			if err := q.xb.Program(q.tgt); err != nil {
+				return fmt.Errorf("pdhg: refreshing tile (block %d, slot %d): %w", b.index, slot, err)
+			}
+		}
+		f.tilesRefreshed++
+	}
+	return nil
+}
+
+// counters aggregates the crossbar activity of every tile in canonical
+// order.
+func (f *fabric) counters() crossbar.Counters {
+	var total crossbar.Counters
+	for _, b := range f.blocks {
+		total = total.Add(b.pos.Counters()).Add(b.neg.Counters()).
+			Add(b.posT.Counters()).Add(b.negT.Counters())
+	}
+	return total
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -23,7 +23,7 @@ type Request struct {
 	// Problem is the text-io serialization of the LP/SOCP to solve.
 	Problem string `json:"problem"`
 	// Engine names the backend: "crossbar" (default), "crossbar-large-scale",
-	// "pdip", "pdip-reduced", "simplex", or "conic".
+	// "pdip", "pdip-reduced", "simplex", "conic", or "pdhg".
 	Engine string `json:"engine,omitempty"`
 	// Options carries the engine knobs; zero values mean "engine default".
 	Options Options `json:"options,omitempty"`
@@ -46,6 +46,10 @@ type Options struct {
 	Alpha         float64 `json:"alpha,omitempty"`
 	MaxIterations int     `json:"max_iterations,omitempty"`
 	ConstantStep  float64 `json:"constant_step,omitempty"`
+	// Tiles is the PDHG worker-grid side (results are bit-identical for
+	// every value; it still joins the pool key because it is a
+	// solver-construction knob).
+	Tiles int `json:"tiles,omitempty"`
 	// Trace asks for the iteration trajectory in Response.TraceJSONL. Solvers
 	// always record traces (the service needs them for /metrics), so Trace
 	// does not participate in the pool key.
@@ -91,6 +95,9 @@ func (o Options) key(eng memlp.Engine) string {
 	if n.ConstantStep != 0 {
 		parts = append(parts, "constant_step="+formatFloat(n.ConstantStep))
 	}
+	if n.Tiles != 0 {
+		parts = append(parts, "tiles="+strconv.Itoa(n.Tiles))
+	}
 	sort.Strings(parts[1:]) // engine first, knobs in stable order
 	return strings.Join(parts, ",")
 }
@@ -107,7 +114,7 @@ func (o Options) solverOptions(eng memlp.Engine, parallelism int) []memlp.Option
 	n := o.normalize()
 	opts := []memlp.Option{memlp.WithTrace(0)}
 	switch eng {
-	case memlp.EngineCrossbar, memlp.EngineCrossbarLargeScale, memlp.EngineConic:
+	case memlp.EngineCrossbar, memlp.EngineCrossbarLargeScale, memlp.EngineConic, memlp.EnginePDHG:
 		opts = append(opts, memlp.WithSeed(n.Seed))
 	default:
 		if o.Seed != 0 {
@@ -135,6 +142,9 @@ func (o Options) solverOptions(eng memlp.Engine, parallelism int) []memlp.Option
 	if n.ConstantStep != 0 {
 		opts = append(opts, memlp.WithConstantStep(n.ConstantStep))
 	}
+	if n.Tiles != 0 {
+		opts = append(opts, memlp.WithTiles(n.Tiles))
+	}
 	if eng == memlp.EngineCrossbar && parallelism > 0 {
 		opts = append(opts, memlp.WithParallelism(parallelism))
 	}
@@ -156,6 +166,8 @@ func engineByName(name string) (memlp.Engine, error) {
 		return memlp.EngineSimplex, nil
 	case "conic":
 		return memlp.EngineConic, nil
+	case "pdhg":
+		return memlp.EnginePDHG, nil
 	default:
 		return 0, fmt.Errorf("unknown engine %q", name)
 	}

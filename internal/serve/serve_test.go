@@ -89,7 +89,7 @@ func waitQuiesced(t *testing.T, s *Server) {
 // checks the JSON response shape.
 func TestSolveEveryEngine(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, eng := range []string{"crossbar", "crossbar-large-scale", "pdip", "pdip-reduced", "simplex", "conic"} {
+	for _, eng := range []string{"crossbar", "crossbar-large-scale", "pdip", "pdip-reduced", "simplex", "conic", "pdhg"} {
 		t.Run(eng, func(t *testing.T) {
 			code, resp := postSolve(t, nil, ts.URL, Request{Problem: dietText(0), Engine: eng}, nil)
 			if code != http.StatusOK {
@@ -110,7 +110,7 @@ func TestSolveEveryEngine(t *testing.T) {
 			if got := float64(resp.Objective); math.Abs(got-8.2) > 0.5 {
 				t.Errorf("objective = %v, want ≈ 8.2", got)
 			}
-			analog := eng == "crossbar" || eng == "crossbar-large-scale" || eng == "conic"
+			analog := eng == "crossbar" || eng == "crossbar-large-scale" || eng == "conic" || eng == "pdhg"
 			if (resp.Hardware != nil) != analog {
 				t.Errorf("hardware block present = %v, want %v", resp.Hardware != nil, analog)
 			}
@@ -118,6 +118,37 @@ func TestSolveEveryEngine(t *testing.T) {
 				t.Error("simplex response missing pivot count")
 			}
 		})
+	}
+}
+
+// TestPDHGTilesOption submits the same LP at two worker grids: the tiles
+// knob joins the pool key (distinct solver handles) but — per the D18
+// determinism contract — must not change any numerical field of the reply.
+func TestPDHGTilesOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var ref Response
+	for i, tiles := range []int{1, 2} {
+		code, resp := postSolve(t, nil, ts.URL,
+			Request{Problem: dietText(0), Engine: "pdhg", Options: Options{Tiles: tiles}}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("tiles=%d: HTTP %d: %+v", tiles, code, resp)
+		}
+		if resp.Status != "optimal" {
+			t.Fatalf("tiles=%d: status %q (%s)", tiles, resp.Status, resp.Error)
+		}
+		if i == 0 {
+			ref = resp
+			continue
+		}
+		if resp.Objective != ref.Objective || resp.Iterations != ref.Iterations {
+			t.Errorf("tiles=%d: (objective, iterations) = (%v, %d), want bit-identical (%v, %d)",
+				tiles, resp.Objective, resp.Iterations, ref.Objective, ref.Iterations)
+		}
+		for j := range ref.X {
+			if resp.X[j] != ref.X[j] {
+				t.Errorf("tiles=%d: x[%d] = %v, want bit-identical %v", tiles, j, resp.X[j], ref.X[j])
+			}
+		}
 	}
 }
 
@@ -173,6 +204,7 @@ func TestBadSubmissions(t *testing.T) {
 		"bad problem":         {Problem: "maximize spam", Engine: "crossbar"},
 		"incompatible option": {Problem: dietText(0), Engine: "simplex", Options: Options{MaxIterations: 5}},
 		"seed on software":    {Problem: dietText(0), Engine: "pdip", Options: Options{Seed: 7}},
+		"tiles on non-pdhg":   {Problem: dietText(0), Engine: "crossbar", Options: Options{Tiles: 2}},
 	} {
 		code, resp := postSolve(t, nil, ts.URL, req, nil)
 		if code != http.StatusBadRequest {

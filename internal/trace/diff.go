@@ -67,6 +67,9 @@ func Diff(got, want []Record, tol float64) []string {
 		if g.WriteRetries != w.WriteRetries {
 			add("%s write_retries: got %d want %d", pre, g.WriteRetries, w.WriteRetries)
 		}
+		if g.TilesRefreshed != w.TilesRefreshed {
+			add("%s tiles_refreshed: got %d want %d", pre, g.TilesRefreshed, w.TilesRefreshed)
+		}
 		if g.NoiseEpoch != w.NoiseEpoch {
 			add("%s noise_epoch: got %d want %d", pre, g.NoiseEpoch, w.NoiseEpoch)
 		}

@@ -54,11 +54,12 @@ type jsonRecord struct {
 	Theta               jsonFloat `json:"theta"`
 	Objective           jsonFloat `json:"objective"`
 
-	WriteRetries int64     `json:"write_retries"`
-	CellsWritten int64     `json:"cells_written,omitempty"`
-	CellsSkipped int64     `json:"cells_skipped,omitempty"`
-	NoiseEpoch   int64     `json:"noise_epoch"`
-	EnergyJoules jsonFloat `json:"energy_joules"`
+	WriteRetries   int64     `json:"write_retries"`
+	CellsWritten   int64     `json:"cells_written,omitempty"`
+	CellsSkipped   int64     `json:"cells_skipped,omitempty"`
+	TilesRefreshed int64     `json:"tiles_refreshed,omitempty"`
+	NoiseEpoch     int64     `json:"noise_epoch"`
+	EnergyJoules   jsonFloat `json:"energy_joules"`
 }
 
 func toJSON(r Record) jsonRecord {
@@ -79,6 +80,7 @@ func toJSON(r Record) jsonRecord {
 		WriteRetries:        r.WriteRetries,
 		CellsWritten:        r.CellsWritten,
 		CellsSkipped:        r.CellsSkipped,
+		TilesRefreshed:      r.TilesRefreshed,
 		NoiseEpoch:          r.NoiseEpoch,
 		EnergyJoules:        jsonFloat(r.EnergyJoules),
 	}
@@ -102,6 +104,7 @@ func fromJSON(j jsonRecord) Record {
 		WriteRetries:        j.WriteRetries,
 		CellsWritten:        j.CellsWritten,
 		CellsSkipped:        j.CellsSkipped,
+		TilesRefreshed:      j.TilesRefreshed,
 		NoiseEpoch:          j.NoiseEpoch,
 		EnergyJoules:        float64(j.EnergyJoules),
 	}

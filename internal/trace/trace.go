@@ -36,6 +36,10 @@ const (
 	EventSoftware = "software"
 	// EventTrial is one xbarsim substrate trial (no LP above it).
 	EventTrial = "trial"
+	// EventRestart marks a PDHG adaptive restart: the iterate is reset to
+	// the running average and the ergodic sums are cleared. Iteration holds
+	// the iteration the restart fired on.
+	EventRestart = "restart"
 )
 
 // Record is one point of a solve trajectory. It is a plain value struct so
@@ -92,6 +96,11 @@ type Record struct {
 	// moved on the write grid but stayed within the cell's delta level.
 	// Zero when delta-programming is disabled.
 	CellsSkipped int64
+	// TilesRefreshed is the cumulative count of crossbar tiles
+	// re-programmed by the PDHG engine's periodic conductance refresh for
+	// this problem so far. Zero for single-fabric engines, so existing
+	// traces are unchanged.
+	TilesRefreshed int64
 	// NoiseEpoch keys the problem's cycle-noise stream (the batch
 	// problem index under the PR 4 determinism contract; 0 otherwise).
 	NoiseEpoch int64

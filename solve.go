@@ -13,6 +13,7 @@ import (
 	"github.com/memlp/memlp/internal/lp"
 	"github.com/memlp/memlp/internal/memristor"
 	"github.com/memlp/memlp/internal/noc"
+	"github.com/memlp/memlp/internal/pdhg"
 	"github.com/memlp/memlp/internal/pdip"
 	"github.com/memlp/memlp/internal/perf"
 	"github.com/memlp/memlp/internal/simplex"
@@ -44,6 +45,13 @@ const (
 	// same extended-matrix fabric mapping (Eq. 14a). Pure LPs are accepted and
 	// take the bit-identical LP iteration path.
 	EngineConic
+	// EnginePDHG is the distributed first-order engine: restarted primal–dual
+	// hybrid gradient with both per-iteration mat-vecs tiled across a grid of
+	// crossbars connected by the analog NoC. No linear-system solve means no
+	// single array ever has to hold the whole extended matrix, so problems
+	// past the single-fabric ceiling still solve — at first-order (ADC-floor)
+	// accuracy rather than interior-point accuracy.
+	EnginePDHG
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +69,8 @@ func (e Engine) String() string {
 		return "simplex"
 	case EngineConic:
 		return "conic"
+	case EnginePDHG:
+		return "pdhg"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -86,6 +96,7 @@ type options struct {
 	nocTileSize    int
 	literal        bool
 	parallelism    int
+	tiles          int
 	faults         *FaultModel
 	writeRetries   int
 	writeVerifyTol float64
@@ -109,7 +120,7 @@ func defaultOptions() options {
 // and ErrInvalid.
 func (o *options) validateFor(e Engine) error {
 	switch e {
-	case EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex, EngineConic:
+	case EngineCrossbar, EngineCrossbarLargeScale, EnginePDIP, EnginePDIPReduced, EngineSimplex, EngineConic, EnginePDHG:
 	default:
 		return fmt.Errorf("%w: %d", ErrUnknownEngine, int(e))
 	}
@@ -123,6 +134,14 @@ func (o *options) validateFor(e Engine) error {
 		switch name {
 		case "WithConstantStep", "WithLiteralFillers":
 			ok = e == EngineCrossbarLargeScale
+		case "WithTiles":
+			// The worker grid only exists on the tiled PDHG engine; the
+			// Newton engines parallelize across batch members, not tiles.
+			ok = e == EnginePDHG
+		case "WithAlpha":
+			// The relaxed-feasibility reformulation is an interior-point
+			// construction; PDHG solves the unrelaxed LP directly.
+			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale || e == EngineConic
 		case "WithTrace", "WithTraceJSONL":
 			// Observability applies uniformly: every engine records traces.
 			ok = true
@@ -139,7 +158,7 @@ func (o *options) validateFor(e Engine) error {
 			// state, so only the PDIP-family engines accept one.
 			ok = e == EngineCrossbar || e == EngineConic || e == EnginePDIP || e == EnginePDIPReduced
 		default: // crossbar hardware options
-			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale || e == EngineConic
+			ok = e == EngineCrossbar || e == EngineCrossbarLargeScale || e == EngineConic || e == EnginePDHG
 		}
 		if !ok {
 			return fmt.Errorf("%s does not apply to engine %s: %w", name, e, ErrIncompatibleOption)
@@ -344,6 +363,23 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithTiles sets the worker-grid side g for EnginePDHG: g² goroutines sweep
+// the canonical crossbar tiles each half-iteration. The grid is pure
+// execution parallelism — the matrix tiling, every stochastic draw, and all
+// NoC accounting are fixed by the tile size alone, so solutions and traces
+// are bit-identical for every g (the PDHG determinism contract; see
+// DESIGN.md D18).
+func WithTiles(g int) Option {
+	return func(o *options) error {
+		if g < 1 {
+			return fmt.Errorf("%w: tiles grid %d", ErrInvalid, g)
+		}
+		o.tiles = g
+		o.set["WithTiles"] = true
+		return nil
+	}
+}
+
 // WithWarmStart seeds the solver's interior iterate from a previously
 // computed solution of a nearby problem (same dimensions, similar data) —
 // the repeated-solve scenario where only b or c drift between calls. The
@@ -492,6 +528,10 @@ func NewSolver(eng Engine, opts ...Option) (*Solver, error) {
 		if err := s.buildCrossbarBackend(eng, o); err != nil {
 			return nil, err
 		}
+	case EnginePDHG:
+		if err := s.buildPDHGBackend(o); err != nil {
+			return nil, err
+		}
 	}
 	if o.set["WithWarmStart"] {
 		// validateFor admits WithWarmStart only for engines whose backend
@@ -527,11 +567,10 @@ func (s *Solver) SetWarmStart(prev *Solution) error {
 	return nil
 }
 
-// buildCrossbarBackend wires the crossbar configuration into a core solver
-// behind the engine interface. With NoC enabled the fabric factory captures
-// every tiled fabric it builds on s (safe without locking: the factory only
-// runs inside backend calls made under s.mu).
-func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
+// crossbarConfig resolves the shared analog-hardware options into a
+// crossbar.Config, the per-array configuration every crossbar-backed engine
+// (Algorithms 1 and 2, conic, PDHG tiles) starts from.
+func (o options) crossbarConfig() (crossbar.Config, error) {
 	deltaBits := o.deltaBits
 	if !o.set["WithDeltaWriteBits"] {
 		// Delta-programming defaults on at the I/O precision. The core
@@ -553,7 +592,7 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 	if o.variationPct > 0 {
 		vm, err := variation.NewPaperModel(o.variationPct, o.seed)
 		if err != nil {
-			return err
+			return crossbar.Config{}, err
 		}
 		xcfg.Variation = vm
 	}
@@ -569,6 +608,18 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 			fm.Seed = o.seed
 		}
 		xcfg.Faults = &fm
+	}
+	return xcfg, nil
+}
+
+// buildCrossbarBackend wires the crossbar configuration into a core solver
+// behind the engine interface. With NoC enabled the fabric factory captures
+// every tiled fabric it builds on s (safe without locking: the factory only
+// runs inside backend calls made under s.mu).
+func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
+	xcfg, err := o.crossbarConfig()
+	if err != nil {
+		return err
 	}
 
 	var factory, replica core.FabricFactory
@@ -659,6 +710,56 @@ func (s *Solver) buildCrossbarBackend(eng Engine, o options) error {
 		}
 		s.backend = engine.CrossbarLargeScale{S: ls}
 	}
+	return nil
+}
+
+// buildPDHGBackend wires the tiled PDHG engine: the same per-array crossbar
+// configuration as the Newton engines, a NoC router for the canonical block
+// grid, and the worker-grid width from WithTiles. The resolved NoC config is
+// kept on the handle so the interconnect traffic reported by each solve can
+// be priced into the hardware estimate.
+func (s *Solver) buildPDHGBackend(o options) error {
+	xcfg, err := o.crossbarConfig()
+	if err != nil {
+		return err
+	}
+	var ncfg noc.Config
+	if o.useNoC {
+		ncfg.Topology = o.nocTopology
+		ncfg.TileSize = o.nocTileSize
+	}
+	probe, err := noc.NewRouter(ncfg, 1, 1)
+	if err != nil {
+		return err
+	}
+	resolved := probe.Config()
+	s.nocCfg = &resolved
+
+	grid := o.tiles
+	if grid == 0 {
+		grid = 1
+	}
+	popts := []pdhg.Option{
+		pdhg.WithNoC(ncfg),
+		pdhg.WithCrossbar(xcfg),
+		pdhg.WithGrid(grid),
+		pdhg.WithEnergyModel(func(c crossbar.Counters) float64 {
+			return perf.CrossbarCost(c, o.timing).Energy
+		}),
+	}
+	if o.maxIterations > 0 {
+		tol := pdhg.DefaultTolerances()
+		tol.MaxIterations = o.maxIterations
+		popts = append(popts, pdhg.WithTolerances(tol))
+	}
+	if o.traced {
+		popts = append(popts, pdhg.WithTrace(o.traceCap))
+	}
+	ps, err := pdhg.New(popts...)
+	if err != nil {
+		return err
+	}
+	s.backend = engine.PDHG{S: ps}
 	return nil
 }
 
@@ -762,6 +863,14 @@ func (s *Solver) solution(res *engine.Result) *Solution {
 			AnalogOps:    res.Counters.MatVecOps + res.Counters.SolveOps,
 			Conversions:  res.Counters.IOConversions,
 			CellsSkipped: res.Counters.CellSkips,
+		}
+		if s.nocCfg != nil && res.NoC != (noc.Stats{}) {
+			// Tiled engines report their scatter/gather traffic on the
+			// result itself (single-fabric NoC engines go through the
+			// fabric-snapshot path below instead).
+			nest := perf.NoCCost(res.NoC, *s.nocCfg)
+			sol.Hardware.Latency += nest.Latency
+			sol.Hardware.EnergyJoules += nest.Energy
 		}
 	}
 	if b := res.Batch; b != nil {

@@ -22,6 +22,10 @@ const (
 	TraceEventResolve  = trace.EventResolve
 	TraceEventRemap    = trace.EventRemap
 	TraceEventSoftware = trace.EventSoftware
+	// TraceEventRestart marks a PDHG adaptive restart (EnginePDHG only):
+	// the iterate jumped back to the running average since the last
+	// restart.
+	TraceEventRestart = trace.EventRestart
 )
 
 // TraceRecord is one entry of a solve's iteration trace: a snapshot of the
@@ -64,8 +68,12 @@ type TraceRecord struct {
 	// engines or with delta-programming disabled).
 	CellsWritten int64
 	CellsSkipped int64
-	NoiseEpoch   int64
-	EnergyJoules float64
+	// TilesRefreshed is the running count of crossbar tiles re-programmed
+	// by the PDHG engine's periodic refresh (EnginePDHG only; zero
+	// elsewhere).
+	TilesRefreshed int64
+	NoiseEpoch     int64
+	EnergyJoules   float64
 }
 
 // WithTrace enables iteration-trace recording on any engine. Each solve's
